@@ -1,0 +1,27 @@
+"""E8 (ablation): the hot-edge threshold and profile dilution.
+
+The paper fixes the rule threshold at 1.5% of total profile weight
+(Section 4, footnote) and attributes much of context sensitivity's
+code-space effect to *profile dilution* against that threshold.  Sweeping
+the threshold makes the mechanism visible: more rules (and more compiled
+code) at low thresholds, fewer at high ones.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.ablations import threshold_sweep
+
+
+def test_threshold_sweep(benchmark):
+    points, rendered = benchmark.pedantic(
+        threshold_sweep,
+        kwargs={"benchmark": "db", "scale": bench_scale()},
+        rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    # Rule count decreases monotonically as the threshold rises.
+    rules = [p.rules for p in points]
+    assert all(a >= b for a, b in zip(rules, rules[1:])), rules
+    # And the extreme thresholds differ materially.
+    assert rules[0] > rules[-1]

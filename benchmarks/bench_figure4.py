@@ -1,0 +1,35 @@
+"""E3: regenerate Figure 4 (wall-clock speedup of every policy).
+
+Prints one panel per policy family: per-benchmark speedup over the
+context-insensitive baseline at maximum depths 2-5, plus the harmonic-mean
+row -- the textual form of the paper's Figure 4a-f bar charts.
+
+Shape assertions (the paper's qualitative claims, not absolute numbers):
+
+* average (harmonic-mean) performance stays within a few percent of the
+  baseline for every policy -- context sensitivity is roughly
+  performance-neutral on average;
+* per-benchmark extremes stay within the paper's single-digit band.
+"""
+
+from repro.experiments.figures import HARMEAN, figure4
+
+
+def test_figure4(benchmark, sweep):
+    panels, rendered = benchmark.pedantic(
+        figure4, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    for family, matrix in panels.items():
+        for depth, value in matrix[HARMEAN].items():
+            # Paper harMeans sit within ~1%; scaled-down runs are noisier,
+            # so the band here is a loose sanity check on the same claim.
+            assert -5.0 < value < 5.0, \
+                f"harMean speedup out of band: {family} max={depth}: {value}"
+        for bench_name, by_depth in matrix.items():
+            if bench_name == HARMEAN:
+                continue
+            for depth, value in by_depth.items():
+                assert -15.0 < value < 15.0, \
+                    f"extreme speedup: {bench_name} {family} {depth}: {value}"

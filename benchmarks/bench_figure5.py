@@ -1,0 +1,34 @@
+"""E4: regenerate Figure 5 (optimized code-space change per policy).
+
+Prints one panel per policy family: per-benchmark change in optimized
+machine-code bytes versus the context-insensitive baseline (negative is
+desirable), plus the harmonic-mean row.
+
+Shape assertions (the paper's qualitative claims):
+
+* on average, context sensitivity shrinks optimized code space;
+* db is the outlier that *grows* code (context sensitivity enables guarded
+  inlining its flat receiver distributions otherwise forbid) -- the paper
+  notes db's speedups come grouped with code-size increases.
+"""
+
+from repro.experiments.figures import HARMEAN, figure5
+
+
+def test_figure5(benchmark, sweep):
+    panels, rendered = benchmark.pedantic(
+        figure5, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    means = [matrix[HARMEAN][depth]
+             for matrix in panels.values()
+             for depth in sweep.config.depths]
+    average = sum(means) / len(means)
+    assert average < 0.0, f"code space should shrink on average: {average}"
+
+    # db grows code under at least some context-sensitive configurations.
+    db_changes = [panels[family]["db"][depth]
+                  for family in sweep.config.families
+                  for depth in sweep.config.depths]
+    assert max(db_changes) > 0.0, "db should trade code growth for speed"

@@ -1,0 +1,34 @@
+"""E7: the abstract's headline numbers.
+
+"On average, we found that with minimal impact on performance (+/-1%)
+context sensitivity can enable 10% reductions in compiled code space and
+compile time.  Performance on individual programs varied from -4.2% to
+5.3% while reductions in compile time and code space of up to 33.0% and
+56.7% respectively were obtained."
+
+This bench aggregates the sweep the same way and asserts the shape: mean
+performance near zero, negative mean code/compile changes, and double-digit
+best-case reductions.  (Absolute extreme magnitudes depend on the
+substrate; the direction and rough bands are what must reproduce.)
+"""
+
+from repro.experiments.figures import headline
+
+
+def test_headline(benchmark, sweep):
+    data, rendered = benchmark.pedantic(
+        headline, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    # Perf: near-neutral on average, single-digit extremes.
+    assert abs(data["mean_speedup_percent"]) < 2.5
+    assert data["min_speedup_percent"] > -15.0
+    assert data["max_speedup_percent"] < 15.0
+
+    # Code space: shrinks on average; double-digit best case.
+    assert data["mean_code_change_percent"] < 0.0
+    assert data["best_code_reduction_percent"] < -10.0
+
+    # Compile time: best case in the paper's 8-33% (or beyond) band.
+    assert data["best_compile_reduction_percent"] < -8.0

@@ -1,0 +1,32 @@
+"""Extension: online vs offline profile-directed inlining (Section 6).
+
+The paper repeatedly contrasts its online system with offline systems
+(Vortex collected context-sensitive profiles offline and could
+"post process [them] to remove useless context sensitivity"; Section 2
+stresses that online decisions see only "the program execution so far").
+This bench quantifies the *online penalty* on our substrate: a training
+run collects the complete profile, rules are derived once offline, and a
+production run executes against the frozen rule set -- no dilution
+timing, no missing-edge recompilation churn.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.offline import compare_online_offline
+
+
+def test_offline_comparison(benchmark):
+    comparison, rendered = benchmark.pedantic(
+        compare_online_offline,
+        kwargs={"benchmark": "jess", "family": "fixed", "depth": 3,
+                "scale": bench_scale()},
+        rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    # Offline foresight never compiles more than the online system.
+    assert comparison.offline.opt_compilations <= \
+        comparison.online.opt_compilations
+    # The online penalty exists but stays moderate (the paper's premise:
+    # online systems are viable despite partial knowledge).
+    assert -5.0 < comparison.online_penalty_percent < 40.0

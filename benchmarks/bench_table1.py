@@ -1,0 +1,29 @@
+"""E1: regenerate Table 1 (benchmark characteristics).
+
+Prints, for each benchmark, the classes loaded and the methods/bytecodes
+dynamically compiled during a context-insensitive run -- the same three
+columns the paper's Table 1 reports.  The static counts are calibrated to
+match the paper exactly (see ``repro.workloads.spec.TABLE1``).
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.figures import table1
+from repro.workloads.spec import TABLE1
+
+
+def test_table1(benchmark):
+    rows, rendered = benchmark.pedantic(
+        table1, kwargs={"scale": bench_scale()}, rounds=1, iterations=1)
+    print()
+    print(rendered)
+    print()
+    print("paper's Table 1 for comparison:")
+    for name, (classes, methods, bytecodes) in TABLE1.items():
+        print(f"  {name:12s} {classes:4d} {methods:5d} {bytecodes:6d}")
+
+    # Shape assertions: classes and methods match the paper exactly.
+    for row in rows:
+        classes, methods, _bytecodes = TABLE1[row["benchmark"]]
+        assert row["classes"] == classes
+        assert row["methods"] == methods

@@ -1,0 +1,45 @@
+"""E6: regenerate Section 4's in-text early-termination statistics.
+
+The paper instruments the trace listener and reports, across the suite:
+
+* ~20% of sampled callee methods are immediately parameterless;
+* 50-80% of sampled traces contain a parameterless call within five
+  levels of call stack;
+* in 50-80% of cases a class (static) method call appears within two call
+  edges;
+* roughly half the time, four or more call edges are traversed before the
+  first large method.
+
+This bench prints the per-benchmark numbers and asserts the suite-level
+aggregates land in (a slightly widened version of) those bands.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.figures import termination_stats
+
+
+def test_termination_stats(benchmark):
+    stats, rendered = benchmark.pedantic(
+        termination_stats, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1)
+    print()
+    print(rendered)
+
+    def mean(key):
+        return sum(s[key] for s in stats.values()) / len(stats)
+
+    immediately = mean("immediately_parameterless")
+    within5 = mean("parameterless_within_5")
+    class2 = mean("class_method_within_2")
+    large4 = mean("large_at_or_beyond_4")
+
+    print(f"suite means: immediately={immediately:.0%} "
+          f"within5={within5:.0%} class<=2={class2:.0%} "
+          f"large>=4={large4:.0%}")
+
+    assert 0.05 < immediately < 0.45       # paper: ~20%
+    assert 0.40 < within5 <= 1.0           # paper: 50-80%
+    assert 0.40 < class2 <= 1.0            # paper: 50-80%
+    assert 0.15 < large4 <= 0.95           # paper: ~50%
+    assert within5 >= immediately

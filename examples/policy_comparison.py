@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare every context-sensitivity policy on one benchmark.
+
+Runs a Table-1-calibrated synthetic benchmark (default: ``jess``) under the
+context-insensitive baseline and under each of the paper's six policy
+families at a chosen maximum depth, then prints the three quantities the
+paper's evaluation balances: wall-clock speedup, optimized code space, and
+optimizing-compilation time.
+
+Run with::
+
+    python examples/policy_comparison.py [benchmark] [max_depth]
+"""
+
+import sys
+
+from repro import AdaptiveRuntime, make_policy
+from repro.experiments.config import POLICY_FAMILIES
+from repro.metrics.report import format_table
+from repro.workloads.spec import BENCHMARK_ORDER, build_benchmark
+
+#: Sampling phases: like the paper's best-of-N runs for a timer-driven
+#: (and therefore nondeterministic) adaptive system.
+PHASES = (0.0, 0.33, 0.66)
+
+
+def best_run(benchmark: str, family: str, depth: int):
+    best = None
+    for phase in PHASES:
+        generated = build_benchmark(benchmark)
+        runtime = AdaptiveRuntime(generated.program,
+                                  make_policy(family, depth),
+                                  sample_phase=phase)
+        result = runtime.run()
+        if best is None or result.total_cycles < best.total_cycles:
+            best = result
+    return best
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "jess"
+    depth = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    if benchmark not in BENCHMARK_ORDER:
+        raise SystemExit(f"unknown benchmark {benchmark!r}; "
+                         f"choose from {', '.join(BENCHMARK_ORDER)}")
+
+    print(f"benchmark={benchmark}, max context depth={depth}, "
+          f"best of {len(PHASES)} runs per policy")
+    baseline = best_run(benchmark, "cins", 1)
+    rows = [["cins (baseline)", f"{baseline.total_cycles / 1e6:.3f}M",
+             "--", str(baseline.live_opt_code_bytes), "--",
+             str(baseline.opt_compilations), str(baseline.guard_tests)]]
+
+    for family in POLICY_FAMILIES:
+        result = best_run(benchmark, family, depth)
+        speedup = 100 * (baseline.total_cycles / result.total_cycles - 1)
+        code = 100 * (result.live_opt_code_bytes
+                      / baseline.live_opt_code_bytes - 1)
+        rows.append([
+            family,
+            f"{result.total_cycles / 1e6:.3f}M",
+            f"{speedup:+.2f}%",
+            str(result.live_opt_code_bytes),
+            f"{code:+.1f}%",
+            str(result.opt_compilations),
+            str(result.guard_tests),
+        ])
+
+    print(format_table(
+        ["policy", "cycles", "speedup", "opt code B", "code delta",
+         "compiles", "guard tests"],
+        rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim so `pip install -e .` works without the wheel package.
+
+The real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path in offline environments.
+"""
+from setuptools import setup
+
+setup()

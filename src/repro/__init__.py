@@ -1,0 +1,97 @@
+"""Adaptive online context-sensitive inlining -- a full reproduction.
+
+Reproduces Hazelwood & Grove, *Adaptive Online Context-Sensitive Inlining*
+(CGO 2003) on a simulated JVM adaptive optimization system.  See DESIGN.md
+for the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import AdaptiveRuntime, make_policy
+    from repro.workloads import hashmap_example
+
+    built = hashmap_example.build()
+    runtime = AdaptiveRuntime(built.program, make_policy("fixed", 2))
+    result = runtime.run()
+    print(result.opt_code_bytes, result.total_cycles)
+
+The imports below are ordered bottom-up (errors/values -> program model ->
+profiles -> compiler -> policies -> interpreter -> AOS) so the module
+graph stays acyclic.
+"""
+
+# -- mini-JVM substrate -------------------------------------------------------
+from repro.jvm.errors import (CompilationError, ConfigError, ExecutionError,
+                              ProgramError, ReproError)
+from repro.jvm.values import Instance, Value, dynamic_class
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.program import (Add, Arg, ClassDef, Const, Expr, If,
+                               InterfaceCall, Let, Local, Loop, Lt,
+                               MethodDef, Mod, Mul, New, NewPool, Pick,
+                               Program, Return, StaticCall, Stmt, Sub,
+                               VirtualCall, Work, body_bytecodes)
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.frames import Frame, physical_method
+
+# -- profiles -------------------------------------------------------------------
+from repro.profiles.trace import (Context, InlineRule, TraceKey, format_trace,
+                                  make_context)
+from repro.profiles.partial_match import (applicable_rules, candidate_targets,
+                                          contexts_compatible,
+                                          ordered_candidates)
+from repro.profiles.dcg import DynamicCallGraph
+from repro.profiles.cct import CallingContextTree, CCTNode
+
+# -- compiler ---------------------------------------------------------------------
+from repro.compiler.size_estimator import (SizeClass, classify,
+                                           estimate_inlined_bytecodes,
+                                           is_large)
+from repro.compiler.compiled_method import (CompiledMethod, GuardOption,
+                                            InlineDecision, InlineNode)
+from repro.compiler.code_cache import CodeCache
+from repro.compiler.oracle import Decision, InlineOracle
+from repro.compiler.opt_compiler import OptCompiler, iter_call_sites
+
+# -- policies ----------------------------------------------------------------------
+from repro.policies import (ClassMethods, ContextInsensitive,
+                            ContextSensitivityPolicy, FixedLevel,
+                            ImprecisionDriven, LargeMethods, POLICY_LABELS,
+                            ParameterlessClassMethods,
+                            ParameterlessLargeMethods, ParameterlessMethods,
+                            make_policy)
+
+# -- execution engine ---------------------------------------------------------------
+from repro.jvm.interpreter import Machine, MachineStats
+
+# -- adaptive optimization system ------------------------------------------------------
+from repro.aos.cost_accounting import (AOS_COMPONENTS, ALL_COMPONENTS, APP,
+                                       CostAccounting)
+from repro.aos.database import AOSDatabase, CompilationEvent
+from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
+                                 TraceListener)
+from repro.aos.runtime import AdaptiveRuntime, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOSDatabase", "AOS_COMPONENTS", "APP", "ALL_COMPONENTS", "Add",
+    "AdaptiveRuntime", "Arg", "CCTNode", "CallingContextTree", "ClassDef",
+    "ClassHierarchy", "ClassMethods", "CodeCache", "CompilationError",
+    "CompilationEvent", "CompiledMethod", "ConfigError", "Const", "Context",
+    "ContextInsensitive", "ContextSensitivityPolicy", "CostAccounting",
+    "CostModel", "DEFAULT_COSTS", "Decision", "DynamicCallGraph",
+    "ExecutionError", "Expr", "FixedLevel", "Frame", "GuardOption", "If",
+    "ImprecisionDriven", "InlineDecision", "InlineNode", "InlineOracle",
+    "InterfaceCall",
+    "InlineRule", "Instance", "LargeMethods", "Let", "Local", "Loop",
+    "Machine", "MachineStats", "MethodDef", "MethodListener", "Mod", "Mul",
+    "New", "NewPool", "OptCompiler", "POLICY_LABELS",
+    "ParameterlessClassMethods", "ParameterlessLargeMethods",
+    "ParameterlessMethods", "Pick", "Program", "ProgramError", "ReproError",
+    "Return", "RunResult", "SizeClass", "StaticCall", "Stmt", "Sub",
+    "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
+    "VirtualCall", "Work", "applicable_rules", "body_bytecodes",
+    "candidate_targets", "classify", "contexts_compatible", "dynamic_class",
+    "estimate_inlined_bytecodes", "format_trace", "is_large",
+    "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
+    "physical_method",
+]

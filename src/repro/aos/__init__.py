@@ -1,0 +1,1 @@
+"""The adaptive optimization system: listeners, organizers, controller."""

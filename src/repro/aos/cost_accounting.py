@@ -1,0 +1,60 @@
+"""Per-component cycle accounting for the adaptive optimization system.
+
+Figure 6 of the paper reports the percentage of execution time spent in
+each AOS component (listeners, organizers, controller, compilation thread).
+Every cycle the simulation spends is attributed to exactly one of the
+components below; ``APP`` covers the application itself (including dispatch
+overhead and inline guards, which are application-visible costs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Component names, mirroring Figure 6's legend.
+APP = "app"
+LISTENERS = "aos_listeners"
+COMPILATION = "compilation_thread"
+DECAY_ORGANIZER = "decay_organizer"
+AI_ORGANIZER = "ai_organizer"
+METHOD_ORGANIZER = "method_sample_organizer"
+CONTROLLER = "controller_thread"
+
+AOS_COMPONENTS = (LISTENERS, COMPILATION, DECAY_ORGANIZER, AI_ORGANIZER,
+                  METHOD_ORGANIZER, CONTROLLER)
+ALL_COMPONENTS = (APP,) + AOS_COMPONENTS
+
+
+class CostAccounting:
+    """Accumulates cycles per component and answers Figure-6-style queries."""
+
+    def __init__(self) -> None:
+        self.cycles: Dict[str, float] = {name: 0.0 for name in ALL_COMPONENTS}
+
+    def charge(self, component: str, cycles: float) -> None:
+        self.cycles[component] += cycles
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Fraction of total execution time per component (sums to 1)."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in ALL_COMPONENTS}
+        return {name: c / total for name, c in self.cycles.items()}
+
+    def aos_fraction(self) -> float:
+        """Fraction of execution time spent in all AOS components combined."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(self.cycles[name] for name in AOS_COMPONENTS) / total
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.0f}" for k, v in self.cycles.items() if v)
+        return f"<CostAccounting {parts}>"

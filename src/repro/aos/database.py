@@ -1,0 +1,89 @@
+"""The AOS database: a central repository of compilation decisions/events.
+
+Paper Section 3.2: the inlining system records refusals by the optimizing
+compiler to inline particular call edges; the AI missing-edge organizer
+consults these records to avoid recommending recompilation for an edge the
+compiler has already declined.  The database also keeps a log of every
+compilation event, which the experiment harness reads for its reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+
+class CompilationEvent(NamedTuple):
+    """One optimizing compilation, as logged by the compilation thread."""
+
+    method_id: str
+    version: int
+    inlined_bytecodes: int
+    code_bytes: int
+    compile_cycles: float
+    clock: float
+    reason: str  # "hot" (controller model) or "missing_edge"
+
+
+class AOSDatabase:
+    """Recorded refusals and compilation history."""
+
+    def __init__(self) -> None:
+        self._refusals: Set[Tuple[str, int, str]] = set()
+        self._refusal_reasons: Dict[Tuple[str, int, str], str] = {}
+        self.compilations: List[CompilationEvent] = []
+        # CHA dependencies: root method id -> {selector: bound target id}.
+        # Compiled code that devirtualized a call via loaded-world CHA is
+        # only valid while the selector still has that unique target.
+        self._cha_dependencies: Dict[str, Dict[str, str]] = {}
+        self.invalidations: List[Tuple[str, str, float]] = []
+
+    # -- refusals ---------------------------------------------------------------
+
+    def record_refusal(self, caller_id: str, site: int, callee_id: str,
+                       reason: str) -> None:
+        key = (caller_id, site, callee_id)
+        self._refusals.add(key)
+        self._refusal_reasons[key] = reason
+
+    def was_refused(self, caller_id: str, site: int, callee_id: str) -> bool:
+        return (caller_id, site, callee_id) in self._refusals
+
+    def refusal_reason(self, caller_id: str, site: int,
+                       callee_id: str) -> Optional[str]:
+        return self._refusal_reasons.get((caller_id, site, callee_id))
+
+    @property
+    def refusal_count(self) -> int:
+        return len(self._refusals)
+
+    # -- CHA dependencies ---------------------------------------------------------
+
+    def record_cha_dependency(self, root_id: str, selector: str,
+                              target_id: str) -> None:
+        self._cha_dependencies.setdefault(root_id, {})[selector] = target_id
+
+    def cha_dependencies(self) -> Dict[str, Dict[str, str]]:
+        return {root: dict(deps)
+                for root, deps in self._cha_dependencies.items()}
+
+    def clear_cha_dependencies(self, root_id: str) -> None:
+        self._cha_dependencies.pop(root_id, None)
+
+    def log_invalidation(self, root_id: str, selector: str,
+                         clock: float) -> None:
+        self.invalidations.append((root_id, selector, clock))
+
+    @property
+    def invalidation_count(self) -> int:
+        return len(self.invalidations)
+
+    # -- compilation log ----------------------------------------------------------
+
+    def log_compilation(self, event: CompilationEvent) -> None:
+        self.compilations.append(event)
+
+    def compilations_of(self, method_id: str) -> List[CompilationEvent]:
+        return [e for e in self.compilations if e.method_id == method_id]
+
+    def version_count(self, method_id: str) -> int:
+        return len(self.compilations_of(method_id))

@@ -1,0 +1,171 @@
+"""Optional structured log of adaptive-optimization events.
+
+Jikes RVM's AOS can emit a log of its decisions; reconstructing *why* the
+online system did what it did (why was this method recompiled four times?
+when did that rule first appear?) is otherwise archaeology.  This module
+provides the same facility for the simulation: attach an
+:class:`EventLog` to an :class:`~repro.aos.runtime.AdaptiveRuntime` and
+every noteworthy event is recorded with its cycle timestamp.
+
+The log is pure instrumentation: it charges no cycles and changes no
+decisions, so logged and unlogged runs are cycle-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.report import format_table
+
+#: Event kinds, in the vocabulary of the paper's Figure 3.
+COMPILE = "compile"
+RULE_ADDED = "rule_added"
+RULE_RETIRED = "rule_retired"
+INVALIDATE = "invalidate"
+OSR = "osr"
+DECAY = "decay"
+
+EVENT_KINDS = (COMPILE, RULE_ADDED, RULE_RETIRED, INVALIDATE, OSR, DECAY)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One logged AOS event."""
+
+    clock: float
+    kind: str
+    subject: str        # method id, trace description, ...
+    detail: str = ""    # free-form context (version, reason, share, ...)
+
+
+class EventLog:
+    """An append-only event log with simple query and rendering helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, clock: float, kind: str, subject: str,
+               detail: str = "") -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self.events.append(Event(clock, kind, subject, detail))
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def about(self, subject: str) -> List[Event]:
+        return [e for e in self.events if e.subject == subject]
+
+    def between(self, start: float, end: float) -> List[Event]:
+        return [e for e in self.events if start <= e.clock < end]
+
+    def counts(self) -> Dict[str, int]:
+        out = {kind: 0 for kind in EVENT_KINDS}
+        for event in self.events:
+            out[event.kind] += 1
+        return out
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render_timeline(self, limit: Optional[int] = None) -> str:
+        """A chronological table of events (optionally the first N)."""
+        events = self.events if limit is None else self.events[:limit]
+        rows = [[f"{e.clock:,.0f}", e.kind, e.subject, e.detail]
+                for e in events]
+        return format_table(["cycle", "event", "subject", "detail"], rows,
+                            title=f"AOS event timeline ({len(self.events)} "
+                                  f"events)")
+
+    def render_summary(self) -> str:
+        rows = [[kind, str(count)]
+                for kind, count in self.counts().items() if count]
+        return format_table(["event", "count"], rows,
+                            title="AOS event summary")
+
+
+class LoggingHooks:
+    """Glue attaching an :class:`EventLog` to a runtime's components.
+
+    The runtime calls :meth:`install` once; the hooks wrap the few
+    extension points that already exist (database logging callbacks, the
+    AI organizer's rule set) without changing any behaviour.
+    """
+
+    def __init__(self, log: EventLog):
+        self.log = log
+        self._known_rules: set = set()
+
+    def install(self, runtime) -> None:
+        log = self.log
+        database = runtime.database
+        machine = runtime.machine
+
+        original_log_compilation = database.log_compilation
+
+        def log_compilation(event):
+            original_log_compilation(event)
+            log.record(event.clock, COMPILE, event.method_id,
+                       f"v{event.version} {event.reason} "
+                       f"{event.inlined_bytecodes}bc")
+
+        database.log_compilation = log_compilation
+
+        original_log_invalidation = database.log_invalidation
+
+        def log_invalidation(root_id, selector, clock):
+            original_log_invalidation(root_id, selector, clock)
+            log.record(clock, INVALIDATE, root_id, f"selector={selector}")
+
+        database.log_invalidation = log_invalidation
+
+        original_osr = machine.osr_handler
+
+        def osr_handler(method_id):
+            log.record(machine.clock, OSR, method_id, "backedge threshold")
+            if original_osr is not None:
+                original_osr(method_id)
+
+        machine.osr_handler = osr_handler
+
+        ai_organizer = runtime.ai_organizer
+        original_ai_run = ai_organizer.run
+        hooks = self
+
+        def ai_run(machine_):
+            rules = original_ai_run(machine_)
+            current = {(r.key.callee, r.key.context) for r in rules}
+            for key in current - hooks._known_rules:
+                log.record(machine_.clock, RULE_ADDED,
+                           f"{key[1][0][0]}@{key[1][0][1]}=>{key[0]}")
+            for key in hooks._known_rules - current:
+                log.record(machine_.clock, RULE_RETIRED,
+                           f"{key[1][0][0]}@{key[1][0][1]}=>{key[0]}")
+            hooks._known_rules = current
+            return rules
+
+        ai_organizer.run = ai_run
+
+        decay_organizer = runtime.decay_organizer
+        original_decay_run = decay_organizer.run
+
+        def decay_run(machine_):
+            original_decay_run(machine_)
+            log.record(machine_.clock, DECAY, "dcg",
+                       f"total={runtime.state.dcg.total_weight:.0f}")
+
+        decay_organizer.run = decay_run
+
+
+def attach_event_log(runtime) -> EventLog:
+    """Create an :class:`EventLog`, hook it into ``runtime``, return it."""
+    log = EventLog()
+    LoggingHooks(log).install(runtime)
+    return log

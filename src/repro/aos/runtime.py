@@ -1,0 +1,257 @@
+"""The adaptive runtime: wires the machine, listeners, organizers, and
+controller into one online system (paper Figure 3).
+
+:class:`AdaptiveRuntime` owns the scheduling that Jikes RVM gets from its
+timer interrupts and organizer threads: the machine's tick hook fires
+whenever the cycle clock crosses the next deadline, and the runtime then
+takes samples, wakes periodic organizers, runs the controller, and lets
+the compilation thread drain its queue.  Everything -- profiling, decision
+making, and inlining -- happens *online* while the program runs, on
+profile data limited to the execution so far.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.aos.controller import CompilationThread, Controller
+from repro.aos.cost_accounting import (ALL_COMPONENTS, APP, LISTENERS,
+                                       CostAccounting)
+from repro.aos.database import AOSDatabase
+from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
+                                 TraceListener)
+from repro.aos.organizers import (AIOrganizer, AOSState, DCGOrganizer,
+                                  DecayOrganizer, HotMethodsOrganizer,
+                                  MissingEdgeOrganizer)
+from repro.compiler.code_cache import CodeCache
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.interpreter import Machine
+from repro.jvm.program import Program
+from repro.jvm.values import Value
+from repro.policies.base import ContextSensitivityPolicy
+
+
+@dataclass
+class RunResult:
+    """Everything one adaptive run produces, for the experiment harness."""
+
+    program_name: str
+    policy_name: str
+    return_value: Value
+
+    total_cycles: float
+    component_cycles: Dict[str, float]
+
+    opt_code_bytes: int
+    live_opt_code_bytes: int
+    opt_compilations: int
+    opt_compile_cycles: float
+    opt_inlined_bytecodes: int
+
+    classes_loaded: int
+    methods_compiled: int
+    bytecodes_compiled: int
+
+    samples_taken: int
+    traces_recorded: int
+    mean_trace_depth: float
+    depth_histogram: Dict[int, int]
+    dcg_traces: int
+    rule_count: int
+    refusals: int
+
+    guard_tests: int
+    guard_misses: int
+    dispatches: int
+    inline_entries: int
+    calls: int
+    osr_transfers: int
+    invalidations: int
+
+    @property
+    def app_cycles(self) -> float:
+        return self.component_cycles[APP]
+
+    def aos_fraction(self) -> float:
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return (total - self.component_cycles[APP]) / total
+
+
+class AdaptiveRuntime:
+    """One program execution under the adaptive optimization system."""
+
+    def __init__(self, program: Program,
+                 policy: ContextSensitivityPolicy,
+                 costs: CostModel = DEFAULT_COSTS,
+                 probe: Optional[TerminationStatsProbe] = None,
+                 sample_phase: float = 0.0):
+        program.validate()
+        self.program = program
+        self.policy = policy
+        self.costs = costs
+        self.probe = probe
+
+        self.hierarchy = ClassHierarchy(program)
+        self.code_cache = CodeCache(costs)
+        self.accounting = CostAccounting()
+        self.database = AOSDatabase()
+        self.state = AOSState()
+
+        self.method_listener = MethodListener()
+        self.trace_listener = TraceListener(policy)
+        self.dcg_organizer = DCGOrganizer(self.state, policy, costs)
+        self.ai_organizer = AIOrganizer(self.state, costs)
+        self.hot_methods_organizer = HotMethodsOrganizer(self.state, costs)
+        self.decay_organizer = DecayOrganizer(self.state, costs)
+        self.controller = Controller(program, self.hierarchy, self.state,
+                                     self.code_cache, self.database, costs)
+        self.missing_edge_organizer = MissingEdgeOrganizer(
+            self.state, self.code_cache, self.database, costs)
+        self.compilation_thread = CompilationThread(
+            program, self.hierarchy, self.code_cache, self.database, costs)
+
+        self.machine = Machine(program, self.hierarchy, self.code_cache,
+                               costs, self.accounting, self._tick)
+        self.machine.osr_handler = self.controller.osr_request
+        self.machine.class_load_handler = self._on_class_load
+
+        # ``sample_phase`` (in [0, 1)) offsets the first timer tick, playing
+        # the role of Jikes RVM's timer nondeterminism: the paper reports
+        # the best of 20 runs precisely because sampling phase shifts the
+        # adaptive system's decisions.  Experiments sweep a few phases and
+        # aggregate.
+        if not 0.0 <= sample_phase < 1.0:
+            raise ValueError(f"sample_phase must be in [0, 1), "
+                             f"got {sample_phase}")
+        self._next_sample = float(costs.sample_interval) * (1.0 + sample_phase)
+        self._next_organizer = float(costs.organizer_period) \
+            * (1.0 + sample_phase)
+        self._next_decay = float(costs.decay_period)
+        # Timer ticks jitter around the nominal interval (as real timers
+        # do); without jitter, fixed-interval sampling aliases against the
+        # workload's loop structure and skews the profile's weight
+        # distribution.  Seeded so runs stay reproducible.
+        self._timer_rng = random.Random(int(sample_phase * 1_000_003) + 17)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _tick(self, machine: Machine) -> None:
+        clock = machine.clock
+        costs = self.costs
+
+        while clock >= self._next_sample:
+            self._take_sample(machine)
+            self._next_sample += costs.sample_interval \
+                * (0.5 + self._timer_rng.random())
+            clock = machine.clock
+
+        if clock >= self._next_organizer:
+            self._organizer_wake(machine)
+            self._next_organizer = machine.clock + costs.organizer_period
+
+        if clock >= self._next_decay:
+            self.decay_organizer.run(machine)
+            self._next_decay = machine.clock + costs.decay_period
+
+        machine.next_event = min(self._next_sample, self._next_organizer,
+                                 self._next_decay)
+
+    def _take_sample(self, machine: Machine) -> None:
+        costs = self.costs
+        stack = machine.stack
+        self.method_listener.sample(stack)
+        machine.charge(LISTENERS, costs.method_listener_cost)
+        key = self.trace_listener.sample(stack)
+        if key is not None:
+            machine.charge(LISTENERS,
+                           self.trace_listener.walk_cost(key, costs))
+        if self.probe is not None:
+            self.probe.sample(stack)
+        # A full trace buffer wakes the DCG organizer early (Section 3.3).
+        if len(self.trace_listener.buffer) >= costs.trace_buffer_capacity:
+            self.dcg_organizer.run(machine, self.trace_listener)
+
+    def _organizer_wake(self, machine: Machine) -> None:
+        self.dcg_organizer.run(machine, self.trace_listener)
+        self.ai_organizer.run(machine)
+        self.hot_methods_organizer.run(machine, self.method_listener,
+                                       self.controller)
+        self.missing_edge_organizer.run(machine, self.controller)
+        self.controller.process_events(machine)
+        self.compilation_thread.run(machine,
+                                    self.controller.compilation_queue)
+
+    # -- class loading -------------------------------------------------------------
+
+    def _on_class_load(self, class_name: str) -> None:
+        """Invalidate compiled code whose CHA devirtualization just broke.
+
+        Loading a class can add dispatch targets to selectors; any
+        installed code that unguardedly inlined the previously-unique
+        target of such a selector must be discarded.  Pre-existence keeps
+        in-flight activations safe; future invocations run baseline until
+        the hot-method machinery recompiles against the new hierarchy.
+        """
+        dependencies = self.database.cha_dependencies()
+        for root_id, per_selector in dependencies.items():
+            for selector, target_id in per_selector.items():
+                targets = self.hierarchy.loaded_targets(selector)
+                if targets and targets != frozenset((target_id,)):
+                    if self.code_cache.invalidate(root_id):
+                        self.database.log_invalidation(
+                            root_id, selector, self.machine.clock)
+                    self.database.clear_cha_dependencies(root_id)
+                    break
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, args: Sequence[Value] = ()) -> RunResult:
+        """Execute the program to completion; return the collected metrics."""
+        self.machine.next_event = min(self._next_sample, self._next_organizer,
+                                      self._next_decay)
+        value = self.machine.run(args)
+        # Flush whatever the listeners buffered after the last wake, so
+        # post-run profile inspection (and the offline-rule experiments)
+        # see every sample taken.
+        self.dcg_organizer.run(self.machine, self.trace_listener)
+        self.hot_methods_organizer.run(self.machine, self.method_listener,
+                                       self.controller)
+        return self._result(value)
+
+    def _result(self, value: Value) -> RunResult:
+        machine = self.machine
+        cache = self.code_cache
+        return RunResult(
+            program_name=self.program.name,
+            policy_name=self.policy.name,
+            return_value=value,
+            total_cycles=machine.clock,
+            component_cycles=self.accounting.snapshot(),
+            opt_code_bytes=cache.opt_code_bytes,
+            live_opt_code_bytes=cache.live_opt_code_bytes(),
+            opt_compilations=cache.opt_compilations,
+            opt_compile_cycles=cache.opt_compile_cycles,
+            opt_inlined_bytecodes=cache.opt_inlined_bytecodes,
+            classes_loaded=len(self.program.classes),
+            methods_compiled=cache.dynamically_compiled_methods,
+            bytecodes_compiled=cache.dynamically_compiled_bytecodes,
+            samples_taken=self.method_listener.samples_taken,
+            traces_recorded=self.trace_listener.samples_taken,
+            mean_trace_depth=self.trace_listener.mean_depth(),
+            depth_histogram=dict(self.trace_listener.depth_histogram),
+            dcg_traces=len(self.state.dcg),
+            rule_count=len(self.state.rules),
+            refusals=self.database.refusal_count,
+            guard_tests=machine.stats.guard_tests,
+            guard_misses=machine.stats.guard_misses,
+            dispatches=machine.stats.dispatches,
+            inline_entries=machine.stats.inline_entries,
+            calls=machine.stats.calls,
+            osr_transfers=machine.stats.osr_transfers,
+            invalidations=self.database.invalidation_count,
+        )

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Execute one benchmark under one policy and print the run summary.
+``table1``
+    Regenerate the paper's Table 1.
+``sweep``
+    Run the (benchmark x policy x depth) sweep and cache it as JSON.
+``figures``
+    Render Figures 4/5/6 (plus compile time and the headline numbers)
+    from a cached sweep.
+``ablations``
+    Run the threshold / decay ablations (E8/E9).
+``termination``
+    The Section 4 early-termination statistics (E6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.aos.cost_accounting import APP
+from repro.aos.runtime import AdaptiveRuntime
+from repro.experiments.config import DEFAULT_PHASES, SweepConfig
+from repro.experiments.runner import (SweepResults, load_or_run_sweep,
+                                      run_single)
+from repro.policies import POLICY_LABELS, make_policy
+from repro.workloads.spec import BENCHMARK_ORDER
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive online context-sensitive inlining "
+                    "(CGO 2003) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark under one policy")
+    run.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    run.add_argument("--policy", default="cins", choices=POLICY_LABELS)
+    run.add_argument("--depth", type=int, default=1,
+                     help="maximum context-sensitivity depth")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="run-length scale factor")
+    run.add_argument("--phase", type=float, default=0.0,
+                     help="sampling phase in [0, 1)")
+
+    table = sub.add_parser("table1", help="regenerate Table 1")
+    table.add_argument("--scale", type=float, default=1.0)
+
+    sweep = sub.add_parser("sweep", help="run the full sweep and cache it")
+    sweep.add_argument("--out", default="sweep.json")
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument("--benchmarks", nargs="*", default=None,
+                       choices=BENCHMARK_ORDER)
+    sweep.add_argument("--phases", type=float, nargs="*", default=None)
+
+    figures = sub.add_parser("figures",
+                             help="render figures from a cached sweep")
+    figures.add_argument("--cache", default="sweep.json")
+    figures.add_argument("--which", nargs="*",
+                         default=["fig4", "fig5", "fig6", "compile",
+                                  "headline"],
+                         choices=["fig4", "fig5", "fig6", "compile",
+                                  "headline"])
+    figures.add_argument("--bars", action="store_true",
+                         help="also draw harMean ASCII bar charts")
+
+    ablations = sub.add_parser("ablations", help="run E8/E9 ablations")
+    ablations.add_argument("which", choices=["threshold", "decay"])
+    ablations.add_argument("--scale", type=float, default=1.0)
+
+    term = sub.add_parser("termination",
+                          help="Section 4 early-termination statistics")
+    term.add_argument("--scale", type=float, default=1.0)
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="run one benchmark and dump inline trees + the AOS event log")
+    inspect_cmd.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    inspect_cmd.add_argument("--policy", default="cins",
+                             choices=POLICY_LABELS)
+    inspect_cmd.add_argument("--depth", type=int, default=1)
+    inspect_cmd.add_argument("--scale", type=float, default=0.5)
+    inspect_cmd.add_argument("--top", type=int, default=5,
+                             help="how many inline trees to print")
+    inspect_cmd.add_argument("--events", type=int, default=40,
+                             help="how many timeline events to print")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    result = run_single(args.benchmark, args.policy, args.depth,
+                        phase=args.phase, scale=args.scale)
+    print(f"benchmark      : {result.program_name}")
+    print(f"policy         : {result.policy_name}")
+    print(f"total cycles   : {result.total_cycles:,.0f}")
+    print(f"app cycles     : {result.component_cycles[APP]:,.0f} "
+          f"({100 * (1 - result.aos_fraction()):.2f}%)")
+    print(f"opt compiles   : {result.opt_compilations} "
+          f"({result.opt_compile_cycles:,.0f} cycles)")
+    print(f"opt code bytes : {result.live_opt_code_bytes:,} live / "
+          f"{result.opt_code_bytes:,} cumulative")
+    print(f"inline rules   : {result.rule_count} "
+          f"(refusals recorded: {result.refusals})")
+    print(f"guard tests    : {result.guard_tests:,} "
+          f"(misses: {result.guard_misses:,})")
+    print(f"trace samples  : {result.traces_recorded:,} "
+          f"(mean depth {result.mean_trace_depth:.2f})")
+    print(f"OSR transfers  : {result.osr_transfers}, "
+          f"invalidations: {result.invalidations}")
+    print(f"classes loaded : {result.classes_loaded}, methods compiled: "
+          f"{result.methods_compiled}, bytecodes: "
+          f"{result.bytecodes_compiled:,}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments.figures import table1
+    _rows, rendered = table1(scale=args.scale)
+    print(rendered)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    config = SweepConfig(
+        benchmarks=tuple(args.benchmarks) if args.benchmarks
+        else BENCHMARK_ORDER,
+        phases=tuple(args.phases) if args.phases else DEFAULT_PHASES,
+        scale=args.scale)
+    results = load_or_run_sweep(args.out, config, verbose=True)
+    print(f"sweep cached at {args.out} ({len(results.cells)} cells)")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import figures as fig
+    try:
+        with open(args.cache) as handle:
+            results = SweepResults.from_json(handle.read())
+    except FileNotFoundError:
+        print(f"no sweep cache at {args.cache!r}; run "
+              f"`python -m repro sweep --out {args.cache}` first",
+              file=sys.stderr)
+        return 1
+    renderers = {"fig4": fig.figure4, "fig5": fig.figure5,
+                 "fig6": fig.figure6, "compile": fig.compile_time,
+                 "headline": fig.headline}
+    for which in args.which:
+        data, rendered = renderers[which](results)
+        print(rendered)
+        print()
+        if args.bars and which in ("fig4", "fig5", "compile"):
+            from repro.experiments.figures import HARMEAN
+            from repro.metrics.report import format_bar_chart
+            depth = results.config.depths[-1]
+            values = {family: data[family][HARMEAN][depth]
+                      for family in results.config.families}
+            print(format_bar_chart(
+                f"harMean at max={depth} ({which})", values))
+            print()
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments.ablations import decay_ablation, threshold_sweep
+    if args.which == "threshold":
+        _points, rendered = threshold_sweep(scale=args.scale)
+    else:
+        _outcomes, rendered = decay_ablation()
+    print(rendered)
+    return 0
+
+
+def _cmd_termination(args) -> int:
+    from repro.experiments.figures import termination_stats
+    _stats, rendered = termination_stats(scale=args.scale)
+    print(rendered)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.aos.event_log import attach_event_log
+    from repro.compiler.tree_printer import render_code_cache
+    from repro.workloads.spec import build_benchmark
+
+    generated = build_benchmark(args.benchmark, scale=args.scale)
+    runtime = AdaptiveRuntime(generated.program,
+                              make_policy(args.policy, args.depth))
+    log = attach_event_log(runtime)
+    runtime.run()
+
+    print(render_code_cache(runtime.code_cache, top=args.top))
+    print()
+    print(log.render_summary())
+    print()
+    print(log.render_timeline(limit=args.events))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "ablations": _cmd_ablations,
+    "termination": _cmd_termination,
+    "inspect": _cmd_inspect,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Simulated compiler tiers: baseline (in the code cache) and optimizing."""

@@ -1,0 +1,54 @@
+"""Guard synthesis for speculative (guarded) inlining.
+
+When static analysis cannot bind a virtual call but the profile predicts
+one or two dominant targets, the compiler inlines those targets behind
+runtime guards with a virtual-dispatch fallback (paper Section 3.1).  The
+simulated machine implements *method-test* guards: the receiver's dynamic
+class is resolved and compared against the inlined target.  For
+completeness (and for tests of guard semantics) this module can also
+enumerate the receiver classes each guard accepts, which is what an
+exact class-test guard would check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.compiler.compiled_method import GuardOption, InlineNode
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.program import MethodDef
+
+
+def classes_for_target(hierarchy: ClassHierarchy, selector: str,
+                       target: MethodDef) -> Set[str]:
+    """All dynamic receiver classes that dispatch ``selector`` to ``target``.
+
+    This is the acceptance set of a method-test guard -- a class-test
+    implementation would emit one comparison per member.
+    """
+    accepted: Set[str] = set()
+    for class_name in hierarchy.subclasses(target.klass):
+        if hierarchy.resolve(class_name, selector) is target:
+            accepted.add(class_name)
+    return accepted
+
+
+def order_guard_targets(
+        candidates: Sequence[Tuple[MethodDef, float]]) -> List[MethodDef]:
+    """Order guarded-inline targets hottest-first, deterministically.
+
+    Guard tests execute in this order at runtime, so putting the dominant
+    target first minimizes expected guard cost (the mechanism behind the
+    paper's jess speedup: fewer guards executed before the hit).
+    """
+    ranked = sorted(candidates, key=lambda item: (-item[1], item[0].id))
+    return [method for method, _weight in ranked]
+
+
+def build_guard_options(targets: Sequence[MethodDef],
+                        nodes: Sequence[InlineNode]) -> List[GuardOption]:
+    """Pair each target with its inline-tree node as a guarded option."""
+    if len(targets) != len(nodes):
+        raise ValueError("targets and nodes must align")
+    return [GuardOption(t, n, guard_class=t.klass)
+            for t, n in zip(targets, nodes)]

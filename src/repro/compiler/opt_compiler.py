@@ -1,0 +1,91 @@
+"""The optimizing compiler: builds inline trees by consulting the oracle.
+
+The compiler owns the *mechanism* of inlining: it walks a root method's
+body, asks the :class:`~repro.compiler.oracle.InlineOracle` about every
+call site (passing the compilation context chain needed for Equation-3
+matching), expands approved callees recursively, and emits a
+:class:`~repro.compiler.compiled_method.CompiledMethod` whose compile time
+and machine-code size scale with the total bytecodes compiled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.compiler.compiled_method import (CompiledMethod, DIRECT, GUARDED,
+                                            GuardOption, InlineDecision,
+                                            InlineNode)
+from repro.compiler.oracle import InlineOracle
+from repro.compiler.size_estimator import (count_constant_args,
+                                           estimate_inlined_bytecodes)
+from repro.jvm.costs import CostModel
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.program import (S_IF, S_INTERFACE_CALL, S_LOOP,
+                               S_STATIC_CALL, S_VIRTUAL_CALL, MethodDef,
+                               Program, Stmt)
+from repro.profiles.trace import Context
+
+
+def iter_call_sites(body) -> Iterator[Stmt]:
+    """Yield every call statement in a body, preorder, nested blocks included."""
+    for stmt in body:
+        k = stmt.kind
+        if k in (S_STATIC_CALL, S_VIRTUAL_CALL, S_INTERFACE_CALL):
+            yield stmt
+        elif k == S_IF:
+            yield from iter_call_sites(stmt.then_body)
+            yield from iter_call_sites(stmt.else_body)
+        elif k == S_LOOP:
+            yield from iter_call_sites(stmt.body)
+
+
+class OptCompiler:
+    """Simulated optimizing compiler for one program."""
+
+    def __init__(self, program: Program, hierarchy: ClassHierarchy,
+                 costs: CostModel):
+        self._program = program
+        self._hierarchy = hierarchy
+        self._costs = costs
+
+    def compile(self, method: MethodDef, oracle: InlineOracle,
+                version: int = 1,
+                rules_fingerprint: int = 0) -> CompiledMethod:
+        """Compile ``method`` at the optimizing tier under ``oracle``."""
+        root = InlineNode(method, depth=0)
+        # Mutable single-element list so nested expansion sees committed size.
+        total_size = [method.bytecodes]
+        self._expand(root, (), total_size, method, oracle)
+
+        inlined_bytecodes = total_size[0]
+        code_bytes = inlined_bytecodes * self._costs.opt_bytes_per_bc
+        compile_cycles = inlined_bytecodes * self._costs.opt_compile_cycles_per_bc
+        return CompiledMethod(root, inlined_bytecodes, code_bytes,
+                              compile_cycles, version, rules_fingerprint)
+
+    # -- expansion --------------------------------------------------------------
+
+    def _expand(self, node: InlineNode, context_above: Context,
+                total_size: List[int], root: MethodDef,
+                oracle: InlineOracle) -> None:
+        """Decide every call site in ``node`` and recurse into inlined bodies."""
+        for stmt in iter_call_sites(node.method.body):
+            comp_context: Context = (
+                ((node.method.id, stmt.site),) + context_above)
+            decision = oracle.decide(stmt, comp_context, node.depth,
+                                     total_size[0], root)
+            if not decision.inline:
+                continue
+
+            const_args = count_constant_args(stmt.args)
+            options = []
+            for target in decision.targets:
+                child = InlineNode(target, depth=node.depth + 1)
+                total_size[0] += estimate_inlined_bytecodes(target, const_args)
+                options.append(GuardOption(
+                    target, child,
+                    guard_class=target.klass if decision.guarded else None))
+                self._expand(child, comp_context, total_size, root, oracle)
+
+            kind = GUARDED if decision.guarded else DIRECT
+            node.decisions[stmt.site] = InlineDecision(kind, options)

@@ -1,0 +1,81 @@
+"""Method size classification (paper Section 3.1).
+
+Jikes RVM classifies inlining candidates into four categories by the
+estimated machine-code size of their inlined body, expressed relative to
+the size of a call instruction:
+
+* **tiny** (< 2x call) -- unconditionally inlined when statically bound
+  without a guard;
+* **small** (2-5x) -- inlined subject to code-expansion and depth
+  heuristics when statically bindable (possibly with a guard);
+* **medium** (5-25x) -- candidates for profile-directed inlining only;
+* **large** (> 25x) -- never inlined.
+
+The estimate is adjusted for dataflow properties of the actual arguments:
+constant arguments shrink the estimate, modeling downstream constant
+folding (the paper's Section 3.1 footnote).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.jvm.costs import CostModel
+from repro.jvm.program import Const, Expr, MethodDef
+
+
+class SizeClass(enum.Enum):
+    """The four inlining size categories of Section 3.1."""
+
+    TINY = "tiny"
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+
+#: Fractional size reduction applied per constant actual argument.
+CONST_ARG_DISCOUNT = 0.08
+
+#: The estimate never shrinks below this fraction of the raw size.
+MIN_ESTIMATE_FRACTION = 0.6
+
+
+def count_constant_args(args: Sequence[Expr]) -> int:
+    """How many actual arguments at a call site are compile-time constants."""
+    return sum(1 for a in args if isinstance(a, Const))
+
+
+def estimate_inlined_bytecodes(method: MethodDef, constant_args: int = 0) -> int:
+    """Estimated bytecodes the method contributes when inlined.
+
+    Each constant argument reduces the estimate by
+    :data:`CONST_ARG_DISCOUNT`, floored at :data:`MIN_ESTIMATE_FRACTION` of
+    the raw body size and never below 1.
+    """
+    raw = method.bytecodes
+    factor = max(MIN_ESTIMATE_FRACTION, 1.0 - CONST_ARG_DISCOUNT * constant_args)
+    return max(1, int(raw * factor))
+
+
+def classify(method: MethodDef, costs: CostModel,
+             constant_args: int = 0) -> SizeClass:
+    """Classify a method into its inlining size category."""
+    size = estimate_inlined_bytecodes(method, constant_args)
+    if size < costs.tiny_limit:
+        return SizeClass.TINY
+    if size <= costs.small_limit:
+        return SizeClass.SMALL
+    if size <= costs.medium_limit:
+        return SizeClass.MEDIUM
+    return SizeClass.LARGE
+
+
+def is_large(method: MethodDef, costs: CostModel) -> bool:
+    """True when the method is in the never-inlined category.
+
+    Used both by the oracle and by the Large-Methods early-termination
+    policy (Section 4.3), which stops trace collection one level above a
+    large method.
+    """
+    return classify(method, costs) is SizeClass.LARGE

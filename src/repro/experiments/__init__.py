@@ -1,0 +1,1 @@
+"""Experiment harness: sweeps, figure regeneration, ablations, extensions."""

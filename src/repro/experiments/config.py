@@ -1,0 +1,53 @@
+"""Experiment configuration shared by the harness and the benches.
+
+The paper's evaluation sweeps six context-sensitivity policy families over
+maximum depths 2-5 on eight benchmarks, against the context-insensitive
+baseline.  Because the adaptive system is timer-driven and therefore
+phase-sensitive (the paper reports the best of 20 runs for the same
+reason), every configuration here is run at several sampling phases and
+the best run (minimum total cycles) is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.workloads.spec import BENCHMARK_ORDER
+
+#: The six policy families of Figures 4-6 (x-axis order).
+POLICY_FAMILIES: Tuple[str, ...] = ("fixed", "paramLess", "class", "large",
+                                    "hybrid1", "hybrid2")
+
+#: The maximum context-sensitivity depths the paper sweeps.
+DEPTHS: Tuple[int, ...] = (2, 3, 4, 5)
+
+#: Sampling phases emulating timer nondeterminism (best-of-N, like the
+#: paper's best-of-20).
+DEFAULT_PHASES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """What to run: benchmarks x (cins + families x depths) x phases."""
+
+    benchmarks: Tuple[str, ...] = BENCHMARK_ORDER
+    families: Tuple[str, ...] = POLICY_FAMILIES
+    depths: Tuple[int, ...] = DEPTHS
+    phases: Tuple[float, ...] = DEFAULT_PHASES
+    #: Dynamic-length scale factor passed to the workload builder; 1.0 is
+    #: the full paper-shaped run, smaller values shrink the main loops for
+    #: quick tests.
+    scale: float = 1.0
+    #: Worker processes for the sweep (0 = use all available cores).
+    jobs: int = 0
+
+    def configurations(self) -> Sequence[Tuple[str, str, int]]:
+        """All (benchmark, family, depth) cells, baseline first."""
+        cells = []
+        for benchmark in self.benchmarks:
+            cells.append((benchmark, "cins", 1))
+            for family in self.families:
+                for depth in self.depths:
+                    cells.append((benchmark, family, depth))
+        return cells

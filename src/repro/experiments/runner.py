@@ -1,0 +1,178 @@
+"""The experiment runner: executes (benchmark x policy x depth) sweeps.
+
+One *cell* of the sweep runs a freshly generated benchmark program under a
+policy at several sampling phases and keeps the best run (minimum total
+cycles), mirroring the paper's best-of-N methodology for its
+non-deterministic timer-sampled system.  Cells are independent, so the
+sweep fans out over worker processes.
+
+Results are plain dataclasses; :class:`SweepResults` offers the lookups the
+figure formatters need plus JSON (de)serialization so expensive sweeps can
+be cached on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aos.listeners import TerminationStatsProbe
+from repro.aos.runtime import AdaptiveRuntime, RunResult
+from repro.experiments.config import SweepConfig
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.policies import make_policy
+from repro.workloads.spec import build_benchmark
+
+#: Key identifying one sweep cell.
+CellKey = Tuple[str, str, int]  # (benchmark, family, depth)
+
+
+def run_single(benchmark: str, family: str, depth: int,
+               phase: float = 0.0, scale: float = 1.0,
+               costs: CostModel = DEFAULT_COSTS,
+               probe: Optional[TerminationStatsProbe] = None) -> RunResult:
+    """Run one benchmark under one policy at one sampling phase."""
+    generated = build_benchmark(benchmark, scale=scale)
+    policy = make_policy(family, depth, costs)
+    runtime = AdaptiveRuntime(generated.program, policy, costs,
+                              probe=probe, sample_phase=phase)
+    return runtime.run()
+
+
+def run_cell(benchmark: str, family: str, depth: int,
+             phases: Sequence[float], scale: float = 1.0,
+             costs: CostModel = DEFAULT_COSTS) -> RunResult:
+    """Best-of-phases run for one sweep cell (paper methodology)."""
+    best: Optional[RunResult] = None
+    for phase in phases:
+        result = run_single(benchmark, family, depth, phase, scale, costs)
+        if best is None or result.total_cycles < best.total_cycles:
+            best = result
+    assert best is not None
+    return best
+
+
+def _cell_worker(args) -> Tuple[CellKey, RunResult]:
+    benchmark, family, depth, phases, scale = args
+    result = run_cell(benchmark, family, depth, phases, scale)
+    return (benchmark, family, depth), result
+
+
+@dataclass
+class SweepResults:
+    """All cell results of one sweep, with baseline-relative queries."""
+
+    config: SweepConfig
+    cells: Dict[CellKey, RunResult]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def result(self, benchmark: str, family: str, depth: int) -> RunResult:
+        return self.cells[(benchmark, family, depth)]
+
+    def baseline(self, benchmark: str) -> RunResult:
+        return self.cells[(benchmark, "cins", 1)]
+
+    def speedup_percent(self, benchmark: str, family: str,
+                        depth: int) -> float:
+        """Wall-clock speedup over cins, as plotted in Figure 4."""
+        base = self.baseline(benchmark).total_cycles
+        new = self.result(benchmark, family, depth).total_cycles
+        return 100.0 * (base / new - 1.0)
+
+    def code_size_percent(self, benchmark: str, family: str,
+                          depth: int) -> float:
+        """Optimized code-space change vs cins (Figure 5; negative good)."""
+        base = self.baseline(benchmark).live_opt_code_bytes
+        new = self.result(benchmark, family, depth).live_opt_code_bytes
+        if base == 0:
+            return 0.0
+        return 100.0 * (new / base - 1.0)
+
+    def compile_time_percent(self, benchmark: str, family: str,
+                             depth: int) -> float:
+        """Optimizing-compile-time change vs cins (negative good)."""
+        base = self.baseline(benchmark).opt_compile_cycles
+        new = self.result(benchmark, family, depth).opt_compile_cycles
+        if base == 0:
+            return 0.0
+        return 100.0 * (new / base - 1.0)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "config": dataclasses.asdict(self.config),
+            "cells": [
+                {"key": list(key), "result": dataclasses.asdict(result)}
+                for key, result in sorted(self.cells.items())
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResults":
+        payload = json.loads(text)
+        raw_config = payload["config"]
+        for field_name in ("benchmarks", "families", "depths", "phases"):
+            raw_config[field_name] = tuple(raw_config[field_name])
+        config = SweepConfig(**raw_config)
+        cells: Dict[CellKey, RunResult] = {}
+        for entry in payload["cells"]:
+            key = tuple(entry["key"])
+            raw = entry["result"]
+            raw["depth_histogram"] = {int(k): v for k, v
+                                      in raw["depth_histogram"].items()}
+            cells[key] = RunResult(**raw)  # type: ignore[arg-type]
+        return cls(config=config, cells=cells)
+
+
+def run_sweep(config: SweepConfig = SweepConfig(),
+              verbose: bool = False) -> SweepResults:
+    """Run the full sweep, fanning cells out over worker processes."""
+    cells = config.configurations()
+    args = [(benchmark, family, depth, config.phases, config.scale)
+            for benchmark, family, depth in cells]
+
+    jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
+    jobs = min(jobs, len(args))
+    results: Dict[CellKey, RunResult] = {}
+
+    if jobs <= 1:
+        for arg in args:
+            key, result = _cell_worker(arg)
+            results[key] = result
+            if verbose:
+                print(f"  done {key}")
+    else:
+        with multiprocessing.Pool(jobs) as pool:
+            for key, result in pool.imap_unordered(_cell_worker, args):
+                results[key] = result
+                if verbose:
+                    print(f"  done {key}")
+    return SweepResults(config=config, cells=results)
+
+
+def load_or_run_sweep(cache_path: str,
+                      config: SweepConfig = SweepConfig(),
+                      verbose: bool = False) -> SweepResults:
+    """Load a cached sweep when its config matches, else run and cache."""
+    if os.path.exists(cache_path):
+        try:
+            with open(cache_path) as handle:
+                cached = SweepResults.from_json(handle.read())
+            if cached.config == config:
+                return cached
+        except (ValueError, KeyError, TypeError):
+            pass  # stale/corrupt cache: fall through and regenerate
+    results = run_sweep(config, verbose=verbose)
+    cache_dir = os.path.dirname(cache_path)
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+    with open(cache_path, "w") as handle:
+        handle.write(results.to_json())
+    return results

@@ -1,0 +1,6 @@
+"""The mini-JVM substrate: program model, hierarchy, and execution engine.
+
+Import concrete names from the submodules (or from the top-level ``repro``
+package, which re-exports the public API); this ``__init__`` is kept
+import-free to keep the module graph acyclic.
+"""

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProgramError(ReproError):
+    """A malformed program model (bad class refs, duplicate sites, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime fault in the simulated machine (bad dispatch, bad value)."""
+
+
+class CompilationError(ReproError):
+    """The simulated compiler was asked to do something impossible."""
+
+
+class ConfigError(ReproError):
+    """An experiment or policy was configured inconsistently."""

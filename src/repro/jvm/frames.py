@@ -1,0 +1,58 @@
+"""Source-level stack frames for the simulated machine.
+
+The trace listener (paper Section 3.3, "Optimized Stack Frames") must see
+the *source-level* call stack even when calls have been physically inlined
+into an optimized method.  Jikes RVM recovers that view from compiler
+maps; this simulation gets the same observable behaviour by pushing a
+lightweight frame for every source-level call -- inlined or not -- and
+tagging frames that exist only inside an optimized method's inlined body.
+
+Frames are deliberately tiny (slotted, three fields) because one is created
+per dynamic call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jvm.program import MethodDef
+
+
+class Frame:
+    """One source-level activation.
+
+    Attributes
+    ----------
+    method:
+        The source method executing in this activation.
+    site:
+        The call-site id in the *caller* through which this activation was
+        entered, or ``None`` for the program entry.
+    inlined:
+        True when this activation has no physical frame of its own -- its
+        code was inlined into an enclosing optimized method.
+    """
+
+    __slots__ = ("method", "site", "inlined")
+
+    def __init__(self, method: MethodDef, site: Optional[int], inlined: bool):
+        self.method = method
+        self.site = site
+        self.inlined = inlined
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = " (inlined)" if self.inlined else ""
+        return f"<frame {self.method.id} via site {self.site}{tag}>"
+
+
+def physical_method(stack: List[Frame]) -> Optional[MethodDef]:
+    """The method owning the machine code currently executing.
+
+    Walking down from the top, the first non-inlined frame is the physical
+    frame; its method is what Jikes RVM's method listener would record and
+    what the controller's recompilation decisions are keyed on.
+    """
+    for frame in reversed(stack):
+        if not frame.inlined:
+            return frame.method
+    return None

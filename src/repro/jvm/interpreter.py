@@ -1,0 +1,355 @@
+"""The simulated execution engine.
+
+:class:`Machine` executes a :class:`~repro.jvm.program.Program` under a
+cycle clock.  Methods run either as *baseline* code (interpreted at a cost
+multiplier, compiled lazily at first invocation) or as *optimized* code
+(driven by the inline tree of an installed
+:class:`~repro.compiler.compiled_method.CompiledMethod`).
+
+Everything the paper measures flows through here:
+
+* application cycles (work, dispatch overhead, inline guards),
+* the source-level shadow stack the trace listener samples (inlined
+  activations get zero-cost marker frames, reproducing Jikes RVM's
+  optimized-stack-frame decoding),
+* the tick hook that drives timer-based sampling and the periodic
+  organizers.
+
+The interpreter is a plain recursive evaluator with integer-tag dispatch;
+that keeps a full benchmark run in the hundred-millisecond range, which in
+turn keeps the paper's 200-run parameter sweep laptop-scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.aos.cost_accounting import APP, COMPILATION, CostAccounting
+from repro.compiler.code_cache import CodeCache
+from repro.compiler.compiled_method import GUARDED, InlineNode
+from repro.jvm.costs import CostModel
+from repro.jvm.errors import ExecutionError
+from repro.jvm.frames import Frame
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.program import (
+    E_ADD, E_ARG, E_CONST, E_LOCAL, E_LT, E_MOD, E_MUL, E_PICK, E_SUB,
+    S_IF, S_INTERFACE_CALL, S_LET, S_LOOP, S_NEW, S_NEWPOOL, S_RETURN,
+    S_STATIC_CALL, S_VIRTUAL_CALL, S_WORK,
+    Expr, MethodDef, Program, Stmt,
+)
+from repro.jvm.values import Instance, Value
+
+#: Hard cap on source-level stack depth; exceeding it is a workload bug.
+#: Kept below what Python's default recursion limit can host (each
+#: simulated frame costs a few interpreter frames).
+MAX_STACK_DEPTH = 220
+
+
+class MachineStats:
+    """Lightweight dynamic-execution counters (used by tests and reports)."""
+
+    __slots__ = ("calls", "virtual_calls", "inline_entries", "guard_tests",
+                 "guard_misses", "dispatches", "work_cycles",
+                 "osr_transfers")
+
+    def __init__(self) -> None:
+        self.calls = 0            # out-of-line invocations
+        self.virtual_calls = 0    # virtual sites executed (any outcome)
+        self.inline_entries = 0   # inlined bodies entered
+        self.guard_tests = 0      # individual guard tests executed
+        self.guard_misses = 0     # guarded sites where every guard failed
+        self.dispatches = 0       # full virtual dispatches paid
+        self.work_cycles = 0      # raw (unscaled) work units executed
+        self.osr_transfers = 0    # loops transferred onto optimized code
+
+
+class Machine:
+    """Cycle-accounted executor for one program run."""
+
+    def __init__(self, program: Program, hierarchy: ClassHierarchy,
+                 code_cache: CodeCache, costs: CostModel,
+                 accounting: Optional[CostAccounting] = None,
+                 tick_handler: Optional[Callable[["Machine"], None]] = None):
+        self.program = program
+        self.hierarchy = hierarchy
+        self.code_cache = code_cache
+        self.costs = costs
+        self.accounting = accounting if accounting is not None else CostAccounting()
+        self.tick_handler = tick_handler
+
+        self.clock = 0.0
+        #: The next clock value at which :attr:`tick_handler` fires.
+        self.next_event = float("inf")
+        #: Source-level shadow stack (includes inlined activations).
+        self.stack: List[Frame] = []
+        self.stats = MachineStats()
+
+        self._baseline_mult = costs.baseline_exec_mult
+        self._opt_mult = costs.opt_exec_mult
+        self._inline_mult = costs.opt_exec_mult * (1.0 - costs.inline_work_discount)
+        self._in_tick = False
+
+        #: Back-edge counters for baseline loops (OSR trigger state).
+        self.backedge_counts = {}
+        #: Called once per method when its back-edge count crosses the OSR
+        #: threshold while still at the baseline tier; the adaptive runtime
+        #: points this at the controller's OSR request queue.
+        self.osr_handler: Optional[Callable[[str], None]] = None
+        self._osr_notified = set()
+        #: Called the first time each class is instantiated (class
+        #: loading); the adaptive runtime points this at CHA-dependency
+        #: invalidation.
+        self.class_load_handler: Optional[Callable[[str], None]] = None
+
+    # -- cost charging -----------------------------------------------------
+
+    def charge(self, component: str, cycles: float) -> None:
+        """Advance the clock, attribute cycles, and fire any due tick."""
+        self.clock += cycles
+        self.accounting.charge(component, cycles)
+        if self.clock >= self.next_event and not self._in_tick:
+            self._fire_tick()
+
+    def _charge_app(self, cycles: float) -> None:
+        self.clock += cycles
+        self.accounting.charge(APP, cycles)
+        if self.clock >= self.next_event and not self._in_tick:
+            self._fire_tick()
+
+    def _fire_tick(self) -> None:
+        handler = self.tick_handler
+        if handler is None:
+            self.next_event = float("inf")
+            return
+        self._in_tick = True
+        try:
+            # The handler is responsible for advancing ``next_event``.
+            handler(self)
+        finally:
+            self._in_tick = False
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self, args: Sequence[Value] = ()) -> Value:
+        """Execute the program's entry method to completion."""
+        entry = self.program.entry_method()
+        return self._invoke(entry, tuple(args), None)
+
+    # -- invocation --------------------------------------------------------
+
+    def _invoke(self, method: MethodDef, args: tuple, site: Optional[int]) -> Value:
+        """Out-of-line invocation of ``method`` (its own physical frame)."""
+        stack = self.stack
+        if len(stack) >= MAX_STACK_DEPTH:
+            raise ExecutionError(
+                f"stack overflow invoking {method.id} at depth {len(stack)}")
+        self.stats.calls += 1
+        stack.append(Frame(method, site, False))
+        try:
+            compiled = self.code_cache.opt_version(method.id)
+            if compiled is not None:
+                result = self._exec_body(
+                    method.body, args, [0] * method.num_locals,
+                    self._opt_mult, compiled.root)
+            else:
+                if not self.code_cache.has_baseline(method.id):
+                    cycles = self.code_cache.compile_baseline(method)
+                    self.charge(COMPILATION, cycles)
+                result = self._exec_body(
+                    method.body, args, [0] * method.num_locals,
+                    self._baseline_mult, None)
+        finally:
+            stack.pop()
+        return 0 if result is None else result
+
+    def _enter_inlined(self, callee: MethodDef, args: tuple,
+                       site: int, node: InlineNode) -> Value:
+        """Execute an inlined callee body (no physical frame, no call cost)."""
+        stack = self.stack
+        if len(stack) >= MAX_STACK_DEPTH:
+            raise ExecutionError(
+                f"stack overflow inlining {callee.id} at depth {len(stack)}")
+        self.stats.inline_entries += 1
+        stack.append(Frame(callee, site, True))
+        try:
+            result = self._exec_body(
+                callee.body, args, [0] * callee.num_locals,
+                self._inline_mult, node)
+        finally:
+            stack.pop()
+        return 0 if result is None else result
+
+    # -- statement execution ------------------------------------------------
+
+    def _exec_body(self, body: Sequence[Stmt], args: tuple, locals_: list,
+                   mult: float, node: Optional[InlineNode]):
+        """Execute statements; return the Return value or ``None`` if none."""
+        costs = self.costs
+        for stmt in body:
+            k = stmt.kind
+            if k == S_WORK:
+                cost = stmt.cost
+                self.stats.work_cycles += cost
+                self._charge_app(cost * mult)
+            elif k == S_STATIC_CALL:
+                decision = node.decisions.get(stmt.site) if node is not None else None
+                call_args = tuple(self._eval(a, args, locals_) for a in stmt.args)
+                if decision is not None:
+                    option = decision.sole
+                    result = self._enter_inlined(
+                        option.target, call_args, stmt.site, option.node)
+                else:
+                    self._charge_app(costs.call_overhead * mult)
+                    result = self._invoke(
+                        self.program.method(stmt.target), call_args, stmt.site)
+                if stmt.dst is not None:
+                    locals_[stmt.dst] = result
+            elif k == S_VIRTUAL_CALL or k == S_INTERFACE_CALL:
+                self.stats.virtual_calls += 1
+                receiver = self._eval(stmt.receiver, args, locals_)
+                if not isinstance(receiver, Instance):
+                    raise ExecutionError(
+                        f"virtual call at site {stmt.site} on non-object "
+                        f"{receiver!r}")
+                result = self._virtual_call(stmt, receiver, args, locals_,
+                                            mult, node,
+                                            interface=(k == S_INTERFACE_CALL))
+                if stmt.dst is not None:
+                    locals_[stmt.dst] = result
+            elif k == S_LET:
+                locals_[stmt.dst] = self._eval(stmt.expr, args, locals_)
+            elif k == S_LOOP:
+                count = self._eval(stmt.count, args, locals_)
+                idx = stmt.index_local
+                loop_body = stmt.body
+                if node is None and costs.osr_enabled:
+                    # Baseline tier: count back edges, request compilation
+                    # past the threshold, and poll for installed optimized
+                    # code to transfer onto (on-stack replacement).
+                    method = self.stack[-1].method
+                    method_id = method.id
+                    poll = costs.osr_poll_period
+                    edges = self.backedge_counts.get(method_id, 0)
+                    for i in range(count):
+                        locals_[idx] = i
+                        result = self._exec_body(loop_body, args, locals_,
+                                                 mult, node)
+                        if result is not None:
+                            self.backedge_counts[method_id] = edges + i + 1
+                            return result
+                        if (i + 1) % poll == 0:
+                            total = edges + i + 1
+                            if (total >= costs.osr_backedge_threshold
+                                    and method_id not in self._osr_notified
+                                    and self.osr_handler is not None):
+                                self._osr_notified.add(method_id)
+                                self.osr_handler(method_id)
+                            if node is None:
+                                compiled = self.code_cache.opt_version(
+                                    method_id)
+                                if compiled is not None:
+                                    # Transfer the rest of this loop (and
+                                    # the remainder of the activation)
+                                    # onto the optimized code.
+                                    node = compiled.root
+                                    mult = self._opt_mult
+                                    self.stats.osr_transfers += 1
+                    self.backedge_counts[method_id] = edges + count
+                else:
+                    for i in range(count):
+                        locals_[idx] = i
+                        result = self._exec_body(loop_body, args, locals_,
+                                                 mult, node)
+                        if result is not None:
+                            return result
+            elif k == S_IF:
+                cond = self._eval(stmt.cond, args, locals_)
+                branch = stmt.then_body if cond else stmt.else_body
+                if branch:
+                    result = self._exec_body(branch, args, locals_, mult, node)
+                    if result is not None:
+                        return result
+            elif k == S_NEW:
+                if self.hierarchy.mark_loaded(stmt.class_name) \
+                        and self.class_load_handler is not None:
+                    self.class_load_handler(stmt.class_name)
+                locals_[stmt.dst] = Instance(stmt.class_name)
+            elif k == S_NEWPOOL:
+                for class_name in stmt.class_names:
+                    if self.hierarchy.mark_loaded(class_name) \
+                            and self.class_load_handler is not None:
+                        self.class_load_handler(class_name)
+                locals_[stmt.dst] = tuple(Instance(c) for c in stmt.class_names)
+            elif k == S_RETURN:
+                if stmt.expr is None:
+                    return 0
+                return self._eval(stmt.expr, args, locals_)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown statement kind {k}")
+        return None
+
+    def _virtual_call(self, stmt, receiver: Instance, args: tuple,
+                      locals_: list, mult: float,
+                      node: Optional[InlineNode],
+                      interface: bool = False) -> Value:
+        costs = self.costs
+        dispatch_cost = (costs.interface_dispatch if interface
+                         else costs.virtual_dispatch)
+        call_args = (receiver,) + tuple(
+            self._eval(a, args, locals_) for a in stmt.args)
+        decision = node.decisions.get(stmt.site) if node is not None else None
+        if decision is not None:
+            if decision.kind == GUARDED:
+                resolved = self.hierarchy.resolve(receiver.klass, stmt.selector)
+                for option in decision.options:
+                    self.stats.guard_tests += 1
+                    self._charge_app(costs.guard_test * mult)
+                    if option.target is resolved:
+                        return self._enter_inlined(
+                            resolved, call_args, stmt.site, option.node)
+                # Every guard failed: fall back to full dispatch.
+                self.stats.guard_misses += 1
+                self.stats.dispatches += 1
+                self._charge_app(dispatch_cost * mult)
+                return self._invoke(resolved, call_args, stmt.site)
+            # DIRECT: statically bound by CHA, no guard executed.
+            option = decision.sole
+            return self._enter_inlined(
+                option.target, call_args, stmt.site, option.node)
+        resolved = self.hierarchy.resolve(receiver.klass, stmt.selector)
+        self.stats.dispatches += 1
+        self._charge_app(dispatch_cost * mult)
+        return self._invoke(resolved, call_args, stmt.site)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, expr: Expr, args: tuple, locals_: list) -> Value:
+        k = expr.kind
+        if k == E_CONST:
+            return expr.value
+        if k == E_ARG:
+            return args[expr.index]
+        if k == E_LOCAL:
+            return locals_[expr.index]
+        if k == E_ADD:
+            return self._eval(expr.left, args, locals_) + \
+                self._eval(expr.right, args, locals_)
+        if k == E_SUB:
+            return self._eval(expr.left, args, locals_) - \
+                self._eval(expr.right, args, locals_)
+        if k == E_MUL:
+            return self._eval(expr.left, args, locals_) * \
+                self._eval(expr.right, args, locals_)
+        if k == E_MOD:
+            return self._eval(expr.left, args, locals_) % \
+                self._eval(expr.right, args, locals_)
+        if k == E_LT:
+            return 1 if (self._eval(expr.left, args, locals_)
+                         < self._eval(expr.right, args, locals_)) else 0
+        if k == E_PICK:
+            pool = self._eval(expr.pool, args, locals_)
+            if not isinstance(pool, tuple) or not pool:
+                raise ExecutionError(f"Pick from non-pool value {pool!r}")
+            index = self._eval(expr.index, args, locals_)
+            return pool[index % len(pool)]
+        raise ExecutionError(f"unknown expression kind {k}")  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Runtime values for the mini-JVM.
+
+The simulated machine manipulates three kinds of values:
+
+* Python ``int`` -- primitive integers.
+* :class:`Instance` -- a heap object tagged with its dynamic class.
+* Python ``tuple`` of values -- an immutable "pool" (used by workloads to
+  model collections of receiver objects).
+
+Keeping the value universe tiny keeps the interpreter fast while still
+expressing everything the paper's evaluation needs: virtual dispatch on a
+receiver's dynamic class, data flowing through parameters, and
+control-dependent calls.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+
+class Instance:
+    """A heap object: nothing but an identity and a dynamic class name."""
+
+    __slots__ = ("klass",)
+
+    def __init__(self, klass: str):
+        self.klass = klass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.klass}@{id(self):x}>"
+
+
+Value = Union[int, Instance, Tuple["Value", ...]]
+
+
+def dynamic_class(value: Value) -> str:
+    """Return the dynamic class name used for virtual dispatch.
+
+    Integers dispatch as ``"int"`` (workloads never actually invoke virtual
+    methods on ints, but the interpreter raises a clean error through here
+    if one does).
+    """
+    if isinstance(value, Instance):
+        return value.klass
+    raise TypeError(f"virtual dispatch on non-object value {value!r}")

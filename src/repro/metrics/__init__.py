@@ -1,0 +1,1 @@
+"""Statistics and report rendering shared by the experiment harness."""

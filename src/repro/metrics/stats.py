@@ -1,0 +1,78 @@
+"""Statistical helpers used by the experiment harness.
+
+The paper aggregates per-benchmark speedups with a harmonic mean (the
+``harMean`` bars of Figures 4-5); this module provides that plus the
+percent-change conventions used throughout the reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of positive values.
+
+    Raises ``ValueError`` on empty input or non-positive entries (a
+    harmonic mean of ratios is only meaningful for positive ratios).
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of empty sequence")
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"harmonic mean needs positive values, got {v}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def percent_change(new: float, old: float) -> float:
+    """``new`` relative to ``old`` as a percentage (positive = bigger)."""
+    if old == 0:
+        raise ValueError("percent change from zero")
+    return 100.0 * (new - old) / old
+
+
+def speedup_percent(baseline_time: float, new_time: float) -> float:
+    """Wall-clock speedup as the paper plots it (positive = faster).
+
+    A bar of +5% means the new configuration ran the same work in
+    ``baseline/1.05`` of the time.
+    """
+    if new_time <= 0:
+        raise ValueError("non-positive execution time")
+    return 100.0 * (baseline_time / new_time - 1.0)
+
+
+def harmonic_mean_speedup(speedups_percent: Iterable[float]) -> float:
+    """Aggregate per-benchmark speedups the way the paper's harMean does.
+
+    Speedup percentages are converted to time ratios, averaged
+    harmonically, and converted back.
+    """
+    ratios = [1.0 + s / 100.0 for s in speedups_percent]
+    return 100.0 * (harmonic_mean(ratios) - 1.0)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used by ablation reports)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (no statistics-module dependency for the hot path)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -1,0 +1,142 @@
+"""Calling-context tree (CCT) representation of context-sensitive profiles.
+
+Ammons, Ball, and Larus introduced the calling-context tree as a compact
+representation for context-sensitive profile data; the paper's Section 6
+names it as the "more sophisticated representation" a future version of the
+system might adopt.  This module implements it as an extension: a CCT built
+from the same trace samples the DCG stores, supporting the queries the
+inline oracle makes.
+
+Because sampled traces are *suffixes* of full call paths (they stop after
+n edges), the tree is rooted at a synthetic node and paths are inserted
+outermost-first; a sample ``A => B => C`` increments the weight of the node
+reached by the path root/A/B/C.  Partial traces therefore share prefixes
+exactly as in Arnold & Sweeney's sampled approximations of the CCT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.profiles.trace import Context, TraceKey
+
+
+class CCTNode:
+    """One calling context: a method reached through a chain of call sites."""
+
+    __slots__ = ("method", "site", "weight", "children", "parent")
+
+    def __init__(self, method: Optional[str], site: Optional[int],
+                 parent: Optional["CCTNode"] = None):
+        self.method = method
+        self.site = site
+        self.weight = 0.0
+        self.parent = parent
+        self.children: Dict[Tuple[int, str], "CCTNode"] = {}
+
+    def child(self, site: int, method: str) -> "CCTNode":
+        """Get or create the child reached by calling ``method`` at ``site``."""
+        key = (site, method)
+        node = self.children.get(key)
+        if node is None:
+            node = CCTNode(method, site, parent=self)
+            self.children[key] = node
+        return node
+
+    def path(self) -> List[Tuple[Optional[str], Optional[int]]]:
+        """(method, entry-site) pairs from the root down to this node."""
+        chain: List[Tuple[Optional[str], Optional[int]]] = []
+        node: Optional[CCTNode] = self
+        while node is not None and node.method is not None:
+            chain.append((node.method, node.site))
+            node = node.parent
+        chain.reverse()
+        return chain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CCTNode {self.method} w={self.weight:.1f} " \
+               f"children={len(self.children)}>"
+
+
+class CallingContextTree:
+    """A weighted CCT assembled from sampled call traces."""
+
+    def __init__(self) -> None:
+        self.root = CCTNode(None, None)
+        self.samples = 0
+
+    def add_trace(self, key: TraceKey, weight: float = 1.0) -> CCTNode:
+        """Insert one sampled trace outermost-first; returns the callee node."""
+        node = self.root
+        elements = list(reversed(key.context))  # outermost-first
+        # The outermost caller enters the tree below the synthetic root.
+        outer_caller = elements[0][0]
+        node = node.child(-1, outer_caller)
+        for index, (caller, site) in enumerate(elements):
+            if index + 1 < len(elements):
+                next_method = elements[index + 1][0]
+            else:
+                next_method = key.callee
+            node = node.child(site, next_method)
+        node.weight += weight
+        self.samples += 1
+        return node
+
+    # -- queries -------------------------------------------------------------
+
+    def total_weight(self) -> float:
+        return sum(node.weight for node in self.walk())
+
+    def walk(self) -> Iterator[CCTNode]:
+        """All non-root nodes, preorder, deterministic order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.method is not None:
+                yield node
+            for key in sorted(node.children, reverse=True):
+                stack.append(node.children[key])
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def hot_contexts(self, threshold: float) -> List[Tuple[CCTNode, float]]:
+        """Leaf-weighted nodes above ``threshold`` of total weight."""
+        total = self.total_weight()
+        if total <= 0:
+            return []
+        cutoff = threshold * total
+        hot = [(node, node.weight) for node in self.walk()
+               if node.weight > cutoff]
+        hot.sort(key=lambda item: -item[1])
+        return hot
+
+    def to_trace_weights(self) -> Dict[TraceKey, float]:
+        """Project weighted nodes back to TraceKeys (inverse of add_trace).
+
+        Only nodes with nonzero sample weight and at least one caller above
+        them produce a trace.  Round-tripping through this projection is the
+        key invariant property-tested in the suite.
+        """
+        out: Dict[TraceKey, float] = {}
+        for node in self.walk():
+            if node.weight <= 0:
+                continue
+            chain = node.path()
+            if len(chain) < 2:
+                continue
+            callee = chain[-1][0]
+            context = []
+            # chain: [(outermost, -1), ..., (caller, site_in_its_caller),
+            #         (callee, site_in_caller)] -- the entry site of each
+            # node is the call site *in its parent*.
+            for index in range(len(chain) - 1, 0, -1):
+                _method, entry_site = chain[index]
+                caller_method = chain[index - 1][0]
+                context.append((caller_method, entry_site))
+            key = TraceKey(str(callee), tuple(context))
+            out[key] = out.get(key, 0.0) + node.weight
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CCT {self.node_count()} nodes, {self.samples} samples>"

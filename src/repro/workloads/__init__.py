@@ -1,0 +1,1 @@
+"""Workloads: builder DSL, Table-1-calibrated suite, and example programs."""

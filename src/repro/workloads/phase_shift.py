@@ -1,0 +1,72 @@
+"""A two-phase workload for exercising the decay organizer (Section 3.2).
+
+The program's polymorphic ``step`` site receives class ``A`` instances for
+the first half of the run and class ``B`` afterwards.  Without decay, the
+phase-1 profile dominates forever and the phase-2 target never becomes
+hot; with decay, old weight fades and the adaptive system re-optimizes for
+the new phase.  Used by the ``phase_shift`` example and the decay ablation
+(experiment E9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.jvm.program import (Arg, Const, If, Let, Local, Loop, Lt, New,
+                               Program, Return, StaticCall, VirtualCall,
+                               Work)
+from repro.workloads.builder import ProgramBuilder
+
+
+class TwoPhaseProgram(NamedTuple):
+    program: Program
+    step_site: int
+    iterations: int
+
+
+def build(iterations: int = 40_000,
+          switch_fraction: float = 0.5) -> TwoPhaseProgram:
+    """Build the two-phase program.
+
+    ``switch_fraction`` is the point in the run where the receiver class
+    flips from A to B.  Late switches (e.g. 0.75) make the decay organizer
+    decisive: without decay, the short second phase cannot outweigh the
+    accumulated phase-1 profile.
+    """
+    b = ProgramBuilder("phase_shift")
+    b.cls("Base")
+    b.cls("A", superclass="Base")
+    b.cls("B", superclass="Base")
+    b.cls("App")
+
+    b.method("Base", "step", [Work(12), Return(Const(0))], params=1)
+    b.method("A", "step", [Work(12), Return(Const(1))], params=1)
+    b.method("B", "step", [Work(12), Return(Const(2))], params=1)
+
+    # ``work`` is large so it is always compiled as its own root: the
+    # guarded step dispatch then lives in code whose recompilation budget
+    # belongs to ``work`` itself (entry methods get optimized early via
+    # OSR and would otherwise exhaust their version budget before the
+    # phase shift arrives).
+    step_site = b.site()
+    b.static_method("App", "work", [
+        Work(52),
+        VirtualCall(step_site, "step", Arg(0), dst=0),
+        Work(52),
+        Return(Local(0)),
+    ], params=1, locals_=2)
+
+    work_site = b.site()
+    b.static_method("App", "main", [
+        New(0, "A"),
+        New(1, "B"),
+        Loop(Const(iterations), 2, [
+            If(Lt(Local(2), Const(int(iterations * switch_fraction))),
+               [Let(3, Local(0))],     # phase 1: receiver A
+               [Let(3, Local(1))]),    # phase 2: receiver B
+            StaticCall(work_site, "App.work", [Local(3)], dst=4),
+        ]),
+        Return(Const(0)),
+    ], params=0, locals_=6)
+    b.entry("App.main")
+    return TwoPhaseProgram(b.build(), step_site, iterations)

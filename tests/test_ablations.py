@@ -1,0 +1,63 @@
+"""Tests for the ablation experiments and the two-phase workload."""
+
+import pytest
+
+from repro.aos.runtime import AdaptiveRuntime
+from repro.experiments.ablations import decay_ablation, threshold_sweep
+from repro.jvm.costs import DEFAULT_COSTS
+from repro.policies import make_policy
+from repro.workloads import phase_shift
+
+
+class TestTwoPhaseWorkload:
+    def test_builds_and_runs(self):
+        built = phase_shift.build(iterations=2000)
+        runtime = AdaptiveRuntime(built.program, make_policy("cins", 1))
+        result = runtime.run()
+        assert result.total_cycles > 0
+        assert result.dispatches + result.inline_entries > 0
+
+    def test_phase_switch_changes_receivers(self):
+        built = phase_shift.build(iterations=3000, switch_fraction=0.5)
+        runtime = AdaptiveRuntime(built.program, make_policy("cins", 1))
+        runtime.run()
+        dist = runtime.state.dcg.site_target_distribution(
+            "App.work", built.step_site)
+        # Both phase targets were observed at the step site.
+        assert "A.step" in dist and "B.step" in dist
+
+    def test_switch_fraction_skews_distribution(self):
+        built = phase_shift.build(iterations=3000, switch_fraction=0.9)
+        runtime = AdaptiveRuntime(
+            built.program, make_policy("cins", 1),
+            # Disable decay so raw sample proportions survive.
+            DEFAULT_COSTS.replace(decay_period=10 ** 12))
+        runtime.run()
+        dist = runtime.state.dcg.site_target_distribution(
+            "App.work", built.step_site)
+        assert dist.get("A.step", 0.0) > dist.get("B.step", 0.0)
+
+
+class TestThresholdSweep:
+    def test_rules_monotone_in_threshold(self):
+        points, rendered = threshold_sweep(
+            "db", thresholds=(0.005, 0.03), scale=0.15)
+        assert points[0].rules >= points[-1].rules
+        assert "threshold" in rendered
+
+    def test_points_carry_metrics(self):
+        points, _ = threshold_sweep("jess", thresholds=(0.015,), scale=0.1)
+        point = points[0]
+        assert point.total_cycles > 0
+        assert point.live_code_bytes >= 0
+
+
+class TestDecayAblation:
+    def test_decay_reduces_staleness(self):
+        # The run must span several decay periods for decay to matter;
+        # 50k iterations is the smallest length with a stable effect.
+        outcomes, rendered = decay_ablation(iterations=50_000,
+                                            switch_fraction=0.75)
+        assert outcomes["decay on"].guard_misses <= \
+            outcomes["decay off"].guard_misses
+        assert "decay" in rendered

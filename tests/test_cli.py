@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "jess", "--policy", "fixed", "--depth", "2",
+                     "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total cycles" in out
+        assert "fixed(max=2)" in out
+        assert "guard tests" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quake"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "jess", "--policy", "nonsense"])
+
+
+class TestTable1Command:
+    def test_prints_table(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "SPECjbb2000" in out
+
+
+class TestSweepAndFigures:
+    def test_sweep_then_figures(self, tmp_path, capsys):
+        cache = str(tmp_path / "sweep.json")
+        code = main(["sweep", "--out", cache, "--scale", "0.05",
+                     "--benchmarks", "jess", "db",
+                     "--phases", "0.0"])
+        assert code == 0
+        assert (tmp_path / "sweep.json").exists()
+        capsys.readouterr()
+
+        code = main(["figures", "--cache", cache, "--which", "fig4",
+                     "headline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Headline" in out
+
+    def test_figures_without_cache_fails(self, tmp_path, capsys):
+        code = main(["figures", "--cache", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "no sweep cache" in capsys.readouterr().err
+
+
+class TestAblationsCommand:
+    def test_threshold(self, capsys):
+        assert main(["ablations", "threshold", "--scale", "0.05"]) == 0
+        assert "threshold" in capsys.readouterr().out
+
+
+class TestTerminationCommand:
+    def test_termination_stats(self, capsys):
+        assert main(["termination", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "termination" in out
+        assert "paramless" in out
+
+
+class TestFigureBars:
+    def test_bars_flag_draws_charts(self, tmp_path, capsys):
+        cache = str(tmp_path / "sweep.json")
+        main(["sweep", "--out", cache, "--scale", "0.05",
+              "--benchmarks", "jess", "--phases", "0.0"])
+        capsys.readouterr()
+        code = main(["figures", "--cache", cache, "--which", "fig4",
+                     "--bars"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harMean at max=" in out
+
+
+class TestInspectCommand:
+    def test_inspect_prints_trees_and_events(self, capsys):
+        code = main(["inspect", "jess", "--policy", "fixed", "--depth",
+                     "2", "--scale", "0.05", "--top", "2",
+                     "--events", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bc inlined" in out
+        assert "AOS event summary" in out
+        assert "AOS event timeline" in out

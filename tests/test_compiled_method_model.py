@@ -1,0 +1,87 @@
+"""Unit tests for the compiled-code artifact model."""
+
+import pytest
+
+from repro.aos.listeners import TraceListener
+from repro.compiler.compiled_method import (DIRECT, GUARDED, CompiledMethod,
+                                            GuardOption, InlineDecision,
+                                            InlineNode)
+from repro.jvm.frames import Frame
+from repro.jvm.program import Const, MethodDef, Return
+from repro.policies.imprecision import ImprecisionDriven
+from repro.profiles.dcg import DynamicCallGraph
+from repro.profiles.trace import TraceKey
+
+
+def method(name, params=1, static=False):
+    return MethodDef("K", name, params, static, [Return(Const(0))])
+
+
+class TestInlineDecision:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            InlineDecision("weird", [])
+
+    def test_direct_requires_exactly_one_option(self):
+        m = method("m")
+        option = GuardOption(m, InlineNode(m, 1))
+        with pytest.raises(ValueError):
+            InlineDecision(DIRECT, [])
+        with pytest.raises(ValueError):
+            InlineDecision(DIRECT, [option, option])
+        decision = InlineDecision(DIRECT, [option])
+        assert decision.sole is option
+
+    def test_guarded_any_count(self):
+        m = method("m")
+        options = [GuardOption(m, InlineNode(m, 1), "K")]
+        decision = InlineDecision(GUARDED, options)
+        assert decision.targets() == ["K.m"]
+
+
+class TestInlineNode:
+    def test_inlined_bytecodes_recursive(self):
+        root_m = method("root")
+        child_m = method("child")
+        root = InlineNode(root_m, 0)
+        child = InlineNode(child_m, 1)
+        root.decisions[1] = InlineDecision(
+            DIRECT, [GuardOption(child_m, child)])
+        expected = root_m.bytecodes + child_m.bytecodes
+        assert root.inlined_bytecodes() == expected
+
+    def test_walk_preorder(self):
+        root = InlineNode(method("root"), 0)
+        child = InlineNode(method("child"), 1)
+        root.decisions[1] = InlineDecision(
+            DIRECT, [GuardOption(child.method, child)])
+        names = [n.method.name for n in root.walk()]
+        assert names == ["root", "child"]
+
+
+class TestImprecisionListenerIntegration:
+    """The imprecision policy's per-site depth limit drives the walk."""
+
+    def _stack(self):
+        main = method("main", params=0, static=True)
+        a = method("a", params=2)
+        b = method("b", params=2)
+        return [Frame(main, None, False), Frame(a, 1, False),
+                Frame(b, 2, False)]
+
+    def test_undeepened_site_sampled_at_depth_one(self):
+        policy = ImprecisionDriven(4)
+        listener = TraceListener(policy)
+        key = listener.sample(self._stack())
+        assert key.depth == 1
+
+    def test_deepened_site_sampled_deeper(self):
+        policy = ImprecisionDriven(4)
+        dcg = DynamicCallGraph()
+        # Make (K.a, 2) look imprecise: two flat targets.
+        dcg.add(TraceKey("K.b", (("K.a", 2),)), 10.0)
+        dcg.add(TraceKey("K.x", (("K.a", 2),)), 10.0)
+        policy.observe(dcg)
+        listener = TraceListener(policy)
+        key = listener.sample(self._stack())
+        assert key.depth == 2

@@ -1,0 +1,58 @@
+"""Unit tests for the per-component cycle accounting (Figure 6 substrate)."""
+
+import pytest
+
+from repro.aos.cost_accounting import (AI_ORGANIZER, ALL_COMPONENTS, APP,
+                                       AOS_COMPONENTS, COMPILATION,
+                                       CONTROLLER, CostAccounting,
+                                       DECAY_ORGANIZER, LISTENERS,
+                                       METHOD_ORGANIZER)
+
+
+class TestComponents:
+    def test_all_components_cover_app_plus_aos(self):
+        assert set(ALL_COMPONENTS) == {APP} | set(AOS_COMPONENTS)
+
+    def test_figure6_components_are_aos(self):
+        for component in (LISTENERS, COMPILATION, DECAY_ORGANIZER,
+                          AI_ORGANIZER, METHOD_ORGANIZER, CONTROLLER):
+            assert component in AOS_COMPONENTS
+
+
+class TestAccounting:
+    def test_charges_accumulate(self):
+        acct = CostAccounting()
+        acct.charge(APP, 100.0)
+        acct.charge(APP, 50.0)
+        acct.charge(COMPILATION, 25.0)
+        assert acct.cycles[APP] == 150.0
+        assert acct.total == 175.0
+
+    def test_fractions_sum_to_one(self):
+        acct = CostAccounting()
+        acct.charge(APP, 80.0)
+        acct.charge(LISTENERS, 15.0)
+        acct.charge(CONTROLLER, 5.0)
+        fractions = acct.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[APP] == pytest.approx(0.8)
+
+    def test_empty_fractions_zero(self):
+        fractions = CostAccounting().fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+    def test_aos_fraction(self):
+        acct = CostAccounting()
+        acct.charge(APP, 90.0)
+        acct.charge(COMPILATION, 10.0)
+        assert acct.aos_fraction() == pytest.approx(0.1)
+
+    def test_aos_fraction_empty(self):
+        assert CostAccounting().aos_fraction() == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        acct = CostAccounting()
+        acct.charge(APP, 10.0)
+        snap = acct.snapshot()
+        snap[APP] = 999.0
+        assert acct.cycles[APP] == 10.0

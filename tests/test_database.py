@@ -1,0 +1,40 @@
+"""Unit tests for the AOS database."""
+
+from repro.aos.database import AOSDatabase, CompilationEvent
+
+
+class TestRefusals:
+    def test_record_and_query(self):
+        db = AOSDatabase()
+        db.record_refusal("C.m", 3, "C.big", "large")
+        assert db.was_refused("C.m", 3, "C.big")
+        assert not db.was_refused("C.m", 4, "C.big")
+        assert not db.was_refused("C.m", 3, "C.other")
+        assert db.refusal_reason("C.m", 3, "C.big") == "large"
+        assert db.refusal_reason("C.m", 9, "C.big") is None
+
+    def test_refusals_idempotent(self):
+        db = AOSDatabase()
+        db.record_refusal("C.m", 3, "C.big", "large")
+        db.record_refusal("C.m", 3, "C.big", "space")
+        assert db.refusal_count == 1
+        # Latest reason wins.
+        assert db.refusal_reason("C.m", 3, "C.big") == "space"
+
+
+class TestCompilationLog:
+    def _event(self, method_id="C.m", version=1):
+        return CompilationEvent(method_id=method_id, version=version,
+                                inlined_bytecodes=100, code_bytes=600,
+                                compile_cycles=1400.0, clock=5000.0,
+                                reason="hot")
+
+    def test_log_and_filter(self):
+        db = AOSDatabase()
+        db.log_compilation(self._event("C.a", 1))
+        db.log_compilation(self._event("C.a", 2))
+        db.log_compilation(self._event("C.b", 1))
+        assert len(db.compilations) == 3
+        assert len(db.compilations_of("C.a")) == 2
+        assert db.version_count("C.a") == 2
+        assert db.version_count("C.zzz") == 0

@@ -1,0 +1,49 @@
+"""Fast end-to-end smoke of every benchmark in the suite.
+
+Each benchmark runs once at small scale under a representative policy;
+these tests catch workload regressions (unreachable methods, broken
+receivers, runaway recursion) that unit tests on the generator internals
+would miss.
+"""
+
+import pytest
+
+from repro.aos.runtime import AdaptiveRuntime
+from repro.policies import make_policy
+from repro.workloads.spec import BENCHMARK_ORDER, TABLE1, build_benchmark
+
+SCALE = 0.06
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    out = {}
+    for name in BENCHMARK_ORDER:
+        generated = build_benchmark(name, scale=SCALE)
+        runtime = AdaptiveRuntime(generated.program,
+                                  make_policy("hybrid1", 3))
+        out[name] = runtime.run()
+    return out
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+class TestSuiteSmoke:
+    def test_completes(self, suite_results, name):
+        assert suite_results[name].return_value == 0
+
+    def test_every_method_compiled(self, suite_results, name):
+        assert suite_results[name].methods_compiled == TABLE1[name][1]
+
+    def test_optimization_kicked_in(self, suite_results, name):
+        result = suite_results[name]
+        assert result.opt_compilations > 0
+        assert result.samples_taken > 10
+
+    def test_app_cycles_dominate(self, suite_results, name):
+        result = suite_results[name]
+        assert result.aos_fraction() < 0.5  # generous at tiny scale
+
+    def test_polymorphism_exercised(self, suite_results, name):
+        result = suite_results[name]
+        # Every personality includes at least one polymorphic pattern.
+        assert result.dispatches + result.guard_tests > 0

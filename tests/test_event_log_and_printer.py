@@ -1,0 +1,117 @@
+"""Tests for the AOS event log and the inline-tree pretty printer."""
+
+import pytest
+
+from repro.aos.event_log import (COMPILE, DECAY, EVENT_KINDS, Event,
+                                 EventLog, INVALIDATE, OSR, RULE_ADDED,
+                                 RULE_RETIRED, attach_event_log)
+from repro.aos.runtime import AdaptiveRuntime
+from repro.compiler.tree_printer import render_code_cache, render_inline_tree
+from repro.policies import make_policy
+from repro.workloads import lazy_loading
+from repro.workloads.hashmap_example import build as build_hashmap
+
+
+class TestEventLogUnit:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(100.0, COMPILE, "C.m", "v1")
+        log.record(200.0, COMPILE, "C.n", "v1")
+        log.record(300.0, OSR, "C.m")
+        assert len(log) == 3
+        assert [e.subject for e in log.of_kind(COMPILE)] == ["C.m", "C.n"]
+        assert [e.kind for e in log.about("C.m")] == [COMPILE, OSR]
+        assert [e.clock for e in log.between(150.0, 250.0)] == [200.0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().record(0.0, "party", "x")
+
+    def test_counts(self):
+        log = EventLog()
+        log.record(1.0, COMPILE, "a")
+        log.record(2.0, COMPILE, "b")
+        counts = log.counts()
+        assert counts[COMPILE] == 2
+        assert counts[DECAY] == 0
+
+    def test_rendering(self):
+        log = EventLog()
+        log.record(1.0, COMPILE, "C.m", "v1 hot 40bc")
+        timeline = log.render_timeline()
+        assert "C.m" in timeline and "v1 hot" in timeline
+        summary = log.render_summary()
+        assert "compile" in summary
+
+
+class TestEventLogIntegration:
+    @pytest.fixture(scope="class")
+    def logged_run(self):
+        built = build_hashmap(iterations=4000)
+        runtime = AdaptiveRuntime(built.program, make_policy("fixed", 2))
+        log = attach_event_log(runtime)
+        result = runtime.run()
+        return runtime, log, result
+
+    def test_compiles_logged(self, logged_run):
+        runtime, log, result = logged_run
+        assert len(log.of_kind(COMPILE)) == result.opt_compilations
+
+    def test_rules_logged(self, logged_run):
+        _runtime, log, result = logged_run
+        added = log.of_kind(RULE_ADDED)
+        assert len(added) >= result.rule_count
+
+    def test_logging_is_cycle_neutral(self):
+        built = build_hashmap(iterations=2000)
+        plain = AdaptiveRuntime(built.program, make_policy("fixed", 2))
+        plain_result = plain.run()
+
+        built2 = build_hashmap(iterations=2000)
+        logged = AdaptiveRuntime(built2.program, make_policy("fixed", 2))
+        attach_event_log(logged)
+        logged_result = logged.run()
+        assert logged_result.total_cycles == plain_result.total_cycles
+
+    def test_invalidation_logged(self):
+        built = lazy_loading.build(iterations=15_000)
+        runtime = AdaptiveRuntime(built.program, make_policy("cins", 1))
+        log = attach_event_log(runtime)
+        result = runtime.run()
+        assert len(log.of_kind(INVALIDATE)) == result.invalidations
+        assert result.invalidations >= 1
+
+    def test_events_chronological(self, logged_run):
+        _runtime, log, _result = logged_run
+        clocks = [e.clock for e in log.events]
+        assert clocks == sorted(clocks)
+
+
+class TestTreePrinter:
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        built = build_hashmap(iterations=4000)
+        rt = AdaptiveRuntime(built.program, make_policy("fixed", 2))
+        rt.run()
+        return rt
+
+    def test_render_single_tree(self, runtime):
+        compiled = runtime.code_cache.opt_methods()[0]
+        out = render_inline_tree(compiled)
+        assert compiled.method.id in out
+        assert "bc inlined" in out
+
+    def test_guarded_sites_show_fallback(self, runtime):
+        out = render_code_cache(runtime.code_cache, top=10)
+        if "guarded" in out:
+            assert "fallback -> virtual dispatch" in out
+
+    def test_render_cache_orders_by_size(self, runtime):
+        out = render_code_cache(runtime.code_cache, top=3)
+        assert out.count("bc inlined") <= 3
+
+    def test_empty_cache(self):
+        from repro.compiler.code_cache import CodeCache
+        from repro.jvm.costs import CostModel
+        out = render_code_cache(CodeCache(CostModel()))
+        assert "no optimized methods" in out

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in-process with a temporarily reduced workload where the script
+supports it (they all finish in seconds regardless).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/policy_comparison.py", ["compress", "2"]),
+    ("examples/phase_shift.py", []),
+    ("examples/imprecision_policy.py", ["db"]),
+    ("examples/class_loading.py", []),
+    ("examples/offline_vs_online.py", ["jess", "fixed", "2"]),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES,
+                         ids=[p.split("/")[-1] for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} printed nothing"

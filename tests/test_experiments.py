@@ -1,0 +1,155 @@
+"""Tests for the experiment harness: runner, sweep serialization, figures.
+
+The sweeps here run at tiny scale -- the point is plumbing correctness
+(keys, baselines, serialization, rendering), not paper-shaped numbers.
+"""
+
+import pytest
+
+from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
+                                      POLICY_FAMILIES, SweepConfig)
+from repro.experiments.figures import (FIGURE6_COMPONENTS, figure2, figure4,
+                                       figure5, figure6, headline, table1,
+                                       termination_stats)
+from repro.experiments.runner import (SweepResults, load_or_run_sweep,
+                                      run_cell, run_single, run_sweep)
+from repro.workloads.spec import BENCHMARK_ORDER
+
+TINY = SweepConfig(benchmarks=("jess", "db"), families=("fixed", "hybrid1"),
+                   depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_sweep(TINY)
+
+
+class TestConfig:
+    def test_configurations_include_baseline_first_per_benchmark(self):
+        cells = TINY.configurations()
+        assert cells[0] == ("jess", "cins", 1)
+        assert ("jess", "fixed", 2) in cells
+        assert ("db", "hybrid1", 2) in cells
+
+    def test_default_families_match_paper(self):
+        assert POLICY_FAMILIES == ("fixed", "paramLess", "class", "large",
+                                   "hybrid1", "hybrid2")
+        assert DEPTHS == (2, 3, 4, 5)
+        assert len(DEFAULT_PHASES) >= 2
+
+
+class TestRunner:
+    def test_run_single_returns_result(self):
+        result = run_single("jess", "cins", 1, scale=0.05)
+        assert result.total_cycles > 0
+        assert result.program_name == "jess"
+
+    def test_run_cell_takes_best_of_phases(self):
+        best = run_cell("jess", "cins", 1, phases=(0.0, 0.5), scale=0.05)
+        single0 = run_single("jess", "cins", 1, phase=0.0, scale=0.05)
+        single5 = run_single("jess", "cins", 1, phase=0.5, scale=0.05)
+        assert best.total_cycles == min(single0.total_cycles,
+                                        single5.total_cycles)
+
+    def test_sweep_covers_all_cells(self, tiny_sweep):
+        assert set(tiny_sweep.cells) == set(TINY.configurations())
+
+    def test_relative_metrics(self, tiny_sweep):
+        # Baseline relative to itself is exactly zero.
+        assert tiny_sweep.speedup_percent("jess", "cins", 1) == 0.0
+        assert tiny_sweep.code_size_percent("jess", "cins", 1) == 0.0
+        assert tiny_sweep.compile_time_percent("jess", "cins", 1) == 0.0
+        # Non-baseline cells produce finite numbers.
+        value = tiny_sweep.speedup_percent("db", "fixed", 2)
+        assert -100.0 < value < 100.0
+
+
+class TestSerialization:
+    def test_round_trip(self, tiny_sweep):
+        text = tiny_sweep.to_json()
+        loaded = SweepResults.from_json(text)
+        assert loaded.config == tiny_sweep.config
+        assert set(loaded.cells) == set(tiny_sweep.cells)
+        for key in tiny_sweep.cells:
+            assert loaded.cells[key].total_cycles == \
+                tiny_sweep.cells[key].total_cycles
+            assert loaded.cells[key].depth_histogram == \
+                tiny_sweep.cells[key].depth_histogram
+
+    def test_load_or_run_uses_cache(self, tiny_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(tiny_sweep.to_json())
+        loaded = load_or_run_sweep(str(path), TINY)
+        assert set(loaded.cells) == set(tiny_sweep.cells)
+
+    def test_load_or_run_regenerates_on_mismatch(self, tiny_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(tiny_sweep.to_json())
+        other = SweepConfig(benchmarks=("db",), families=("fixed",),
+                            depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        regenerated = load_or_run_sweep(str(path), other)
+        assert regenerated.config == other
+
+    def test_corrupt_cache_regenerated(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{not json!")
+        small = SweepConfig(benchmarks=("db",), families=("fixed",),
+                            depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        result = load_or_run_sweep(str(path), small)
+        assert result.config == small
+
+
+class TestFigures:
+    def test_figure4_structure(self, tiny_sweep):
+        panels, rendered = figure4(tiny_sweep)
+        assert set(panels) == {"fixed", "hybrid1"}
+        assert "harMean" in panels["fixed"]
+        assert "jess" in rendered and "db" in rendered
+
+    def test_figure5_structure(self, tiny_sweep):
+        panels, rendered = figure5(tiny_sweep)
+        assert set(panels) == {"fixed", "hybrid1"}
+        assert "code space" in rendered
+
+    def test_figure6_structure(self, tiny_sweep):
+        series, rendered = figure6(tiny_sweep)
+        assert "cins" in series
+        assert "fixed-2" in series
+        for fractions in series.values():
+            for component in FIGURE6_COMPONENTS:
+                assert 0.0 <= fractions[component] < 0.5
+        assert "AOS component" in rendered
+
+    def test_figure2_shows_context_split(self):
+        data, rendered = figure2(iterations=3000)
+        edge_split = data["edge"]["global"]
+        assert set(edge_split) == {"MyKey.hashCode", "Object.hashCode"}
+        per_context = data["trace"]["per_context"]
+        assert len(per_context) == 2
+        for bucket in per_context.values():
+            assert max(bucket.values()) > 0.99  # 100% per context
+        assert "Figure 2" in rendered
+
+    def test_table1_matches_spec(self):
+        rows, rendered = table1(scale=0.05)
+        assert [r["benchmark"] for r in rows] == list(BENCHMARK_ORDER)
+        from repro.workloads.spec import TABLE1
+        for row in rows:
+            classes, methods, _bc = TABLE1[row["benchmark"]]
+            assert row["classes"] == classes
+            assert row["methods"] == methods
+        assert "Table 1" in rendered
+
+    def test_termination_stats(self):
+        stats, rendered = termination_stats(scale=0.05)
+        assert set(stats) == set(BENCHMARK_ORDER)
+        for entry in stats.values():
+            assert 0.0 <= entry["immediately_parameterless"] <= 1.0
+            assert entry["parameterless_within_5"] >= \
+                entry["immediately_parameterless"]
+        assert "termination" in rendered
+
+    def test_headline(self, tiny_sweep):
+        data, rendered = headline(tiny_sweep)
+        assert data["min_speedup_percent"] <= data["max_speedup_percent"]
+        assert "Headline" in rendered

@@ -1,0 +1,69 @@
+"""Unit tests for guard synthesis helpers."""
+
+import pytest
+
+from repro.compiler.compiled_method import InlineNode
+from repro.compiler.guards import (build_guard_options, classes_for_target,
+                                   order_guard_targets)
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.program import ClassDef, Const, MethodDef, Program, Return
+
+
+def _program():
+    p = Program("g")
+    p.add_class(ClassDef("Base"))
+    p.add_class(ClassDef("Mid", superclass="Base"))
+    p.add_class(ClassDef("Leaf", superclass="Mid"))
+
+    def declare(klass, name):
+        method = MethodDef(klass, name, 1, False, [Return(Const(0))])
+        p.classes[klass].declare(method)
+        return method
+
+    base_ping = declare("Base", "ping")
+    mid_ping = declare("Mid", "ping")
+    p.validate()
+    return p, base_ping, mid_ping
+
+
+class TestClassesForTarget:
+    def test_acceptance_sets_partition_hierarchy(self):
+        program, base_ping, mid_ping = _program()
+        hierarchy = ClassHierarchy(program)
+        base_accepts = classes_for_target(hierarchy, "ping", base_ping)
+        mid_accepts = classes_for_target(hierarchy, "ping", mid_ping)
+        assert base_accepts == {"Base"}
+        assert mid_accepts == {"Mid", "Leaf"}
+        assert base_accepts.isdisjoint(mid_accepts)
+
+
+class TestOrdering:
+    def _m(self, name):
+        return MethodDef("C", name, 1, False, [Return(Const(0))])
+
+    def test_hottest_first(self):
+        a, b = self._m("a"), self._m("b")
+        ordered = order_guard_targets([(a, 1.0), (b, 9.0)])
+        assert [m.name for m in ordered] == ["b", "a"]
+
+    def test_ties_broken_by_id(self):
+        a, b = self._m("a"), self._m("b")
+        ordered = order_guard_targets([(b, 5.0), (a, 5.0)])
+        assert [m.name for m in ordered] == ["a", "b"]
+
+
+class TestBuildOptions:
+    def _m(self, name):
+        return MethodDef("C", name, 1, False, [Return(Const(0))])
+
+    def test_pairs_targets_with_nodes(self):
+        a, b = self._m("a"), self._m("b")
+        nodes = [InlineNode(a, 1), InlineNode(b, 1)]
+        options = build_guard_options([a, b], nodes)
+        assert [o.target.name for o in options] == ["a", "b"]
+        assert all(o.guard_class == "C" for o in options)
+
+    def test_misaligned_rejected(self):
+        a = self._m("a")
+        with pytest.raises(ValueError):
+            build_guard_options([a], [])

@@ -1,0 +1,104 @@
+"""Unit tests for class hierarchy analysis."""
+
+import pytest
+
+from repro.jvm.errors import ExecutionError, ProgramError
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.program import ClassDef, Const, MethodDef, Program, Return
+
+
+def _program():
+    p = Program("h")
+    p.add_class(ClassDef("Base"))
+    p.add_class(ClassDef("Mid", superclass="Base"))
+    p.add_class(ClassDef("Leaf", superclass="Mid"))
+    p.add_class(ClassDef("Other"))
+
+    def declare(klass, name):
+        p.classes[klass].declare(
+            MethodDef(klass, name, 1, False, [Return(Const(0))]))
+
+    declare("Base", "ping")
+    declare("Mid", "ping")        # overrides Base.ping
+    declare("Base", "solo")       # single implementation program-wide
+    declare("Other", "ping")      # unrelated implementation
+    p.validate()
+    return p
+
+
+@pytest.fixture
+def hierarchy():
+    return ClassHierarchy(_program())
+
+
+class TestResolve:
+    def test_resolves_own_method(self, hierarchy):
+        assert hierarchy.resolve("Base", "ping").klass == "Base"
+
+    def test_resolves_override(self, hierarchy):
+        assert hierarchy.resolve("Mid", "ping").klass == "Mid"
+
+    def test_walks_superclass_chain(self, hierarchy):
+        # Leaf has no ping; inherits Mid's override.
+        assert hierarchy.resolve("Leaf", "ping").klass == "Mid"
+
+    def test_inherited_from_root(self, hierarchy):
+        assert hierarchy.resolve("Leaf", "solo").klass == "Base"
+
+    def test_unknown_class(self, hierarchy):
+        with pytest.raises(ExecutionError):
+            hierarchy.resolve("Ghost", "ping")
+
+    def test_missing_selector(self, hierarchy):
+        with pytest.raises(ExecutionError):
+            hierarchy.resolve("Other", "solo")
+
+    def test_resolution_cached_identity(self, hierarchy):
+        first = hierarchy.resolve("Leaf", "ping")
+        assert hierarchy.resolve("Leaf", "ping") is first
+
+
+class TestCHA:
+    def test_sole_implementation_found(self, hierarchy):
+        assert hierarchy.sole_implementation("solo").klass == "Base"
+
+    def test_multiple_implementations_not_bound(self, hierarchy):
+        assert hierarchy.sole_implementation("ping") is None
+
+    def test_unknown_selector(self, hierarchy):
+        assert hierarchy.sole_implementation("ghost") is None
+
+    def test_implementations_lists_all(self, hierarchy):
+        impls = hierarchy.implementations("ping")
+        assert sorted(m.klass for m in impls) == ["Base", "Mid", "Other"]
+
+
+class TestSubclasses:
+    def test_reflexive(self, hierarchy):
+        assert "Base" in hierarchy.subclasses("Base")
+
+    def test_transitive(self, hierarchy):
+        assert hierarchy.subclasses("Base") == {"Base", "Mid", "Leaf"}
+
+    def test_leaf_only_itself(self, hierarchy):
+        assert hierarchy.subclasses("Leaf") == {"Leaf"}
+
+    def test_unknown_class_raises(self, hierarchy):
+        with pytest.raises(ProgramError):
+            hierarchy.subclasses("Ghost")
+
+
+class TestOverriders:
+    def test_override_found(self, hierarchy):
+        base_ping = hierarchy.resolve("Base", "ping")
+        overriders = hierarchy.overriders(base_ping)
+        assert [m.klass for m in overriders] == ["Mid"]
+
+    def test_unrelated_impl_not_an_overrider(self, hierarchy):
+        base_ping = hierarchy.resolve("Base", "ping")
+        assert all(m.klass != "Other"
+                   for m in hierarchy.overriders(base_ping))
+
+    def test_no_overriders(self, hierarchy):
+        solo = hierarchy.resolve("Base", "solo")
+        assert hierarchy.overriders(solo) == []

@@ -1,0 +1,237 @@
+"""Unit tests for the AOS listeners, especially the trace-walk semantics."""
+
+import pytest
+
+from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
+                                 TraceListener)
+from repro.jvm.costs import CostModel
+from repro.jvm.frames import Frame, physical_method
+from repro.jvm.program import MethodDef, Return, Const, Work
+from repro.policies.catalog import (ClassMethods, ContextInsensitive,
+                                    FixedLevel, LargeMethods,
+                                    ParameterlessClassMethods,
+                                    ParameterlessLargeMethods,
+                                    ParameterlessMethods)
+
+
+def method(name, params=1, static=False, bytecodes=20):
+    return MethodDef("K", name, params, static, [Return(Const(0))],
+                     bytecodes=bytecodes)
+
+
+def stack_from(chain):
+    """Build a stack from [(method, entry_site), ...] bottom-first."""
+    return [Frame(m, site, False) for m, site in chain]
+
+
+def std_stack(*methods):
+    """main(entry) -> m1@1 -> m2@2 -> ... ; top of stack last."""
+    chain = [(methods[0], None)]
+    for index, m in enumerate(methods[1:], start=1):
+        chain.append((m, index))
+    return stack_from(chain)
+
+
+MAIN = method("main", params=0, static=True)
+A = method("a", params=2)
+B = method("b", params=2)
+C = method("c", params=2)
+D = method("d", params=2)
+
+
+class TestMethodListener:
+    def test_records_physical_method(self):
+        listener = MethodListener()
+        stack = std_stack(MAIN, A, B)
+        assert listener.sample(stack) == B.id
+        assert listener.drain() == [B.id]
+        assert listener.drain() == []
+
+    def test_inlined_top_frame_attributes_to_root(self):
+        listener = MethodListener()
+        stack = std_stack(MAIN, A)
+        stack.append(Frame(B, 7, True))  # B inlined into A
+        assert listener.sample(stack) == A.id
+
+    def test_empty_stack(self):
+        listener = MethodListener()
+        assert listener.sample([]) is None
+
+    def test_physical_method_helper(self):
+        stack = std_stack(MAIN, A)
+        stack.append(Frame(B, 7, True))
+        assert physical_method(stack) is A
+        assert physical_method([]) is None
+
+
+class TestTraceWalk:
+    def test_cins_records_single_edge(self):
+        listener = TraceListener(ContextInsensitive())
+        key = listener.sample(std_stack(MAIN, A, B, C))
+        assert key.callee == C.id
+        assert key.depth == 1
+        assert key.context == ((B.id, 3),)
+
+    def test_fixed_records_requested_depth(self):
+        listener = TraceListener(FixedLevel(3))
+        key = listener.sample(std_stack(MAIN, A, B, C))
+        assert key.depth == 3
+        assert key.context == ((B.id, 3), (A.id, 2), (MAIN.id, 1))
+
+    def test_fixed_stops_at_stack_bottom(self):
+        listener = TraceListener(FixedLevel(5))
+        key = listener.sample(std_stack(MAIN, A, B))
+        assert key.depth == 2  # main has no caller
+        assert listener.termination_reasons.get("stack") == 1
+
+    def test_no_sample_without_an_edge(self):
+        listener = TraceListener(FixedLevel(2))
+        assert listener.sample(stack_from([(MAIN, None)])) is None
+        assert listener.sample([]) is None
+
+    def test_inlined_frames_are_walked(self):
+        # B physically inlined into A must still appear in the trace
+        # (the optimized-stack-frames requirement of Section 3.3).
+        listener = TraceListener(FixedLevel(3))
+        stack = [Frame(MAIN, None, False), Frame(A, 1, False),
+                 Frame(B, 2, True), Frame(C, 3, True)]
+        key = listener.sample(stack)
+        assert key.callee == C.id
+        assert key.context[0] == (B.id, 3)
+        assert key.context[1] == (A.id, 2)
+
+    def test_depth_histogram_updated(self):
+        listener = TraceListener(FixedLevel(2))
+        listener.sample(std_stack(MAIN, A, B, C))
+        listener.sample(std_stack(MAIN, A))
+        assert listener.depth_histogram == {2: 1, 1: 1}
+        assert listener.mean_depth() == pytest.approx(1.5)
+
+    def test_walk_cost_scales_with_depth(self):
+        costs = CostModel()
+        listener = TraceListener(FixedLevel(4))
+        key = listener.sample(std_stack(MAIN, A, B, C, D))
+        assert listener.walk_cost(key, costs) == \
+            (key.depth + 1) * costs.trace_frame_cost
+
+
+class TestParameterlessTermination:
+    def test_parameterless_callee_stops_at_depth_one(self):
+        # "20% of sampled callee methods are immediately parameterless and
+        # would require no additional context sensitivity."
+        leaf = method("leaf", params=1, static=False)  # only `this`
+        listener = TraceListener(ParameterlessMethods(5))
+        key = listener.sample(std_stack(MAIN, A, B, leaf))
+        assert key.depth == 1
+        assert listener.termination_reasons.get("stop_below") == 1
+
+    def test_parameterful_chain_walks_full_depth(self):
+        listener = TraceListener(ParameterlessMethods(3))
+        key = listener.sample(std_stack(MAIN, A, B, C))
+        assert key.depth == 3
+
+    def test_parameterless_mid_chain_stops_walk(self):
+        # Chain: callee(c) <- b(parameterless) <- a <- main.  Edge 1 is
+        # always recorded; edge 2 gated on the callee; edge 3 gated on the
+        # parameterless b -> stops at depth 2.
+        b_empty = method("b0", params=0, static=True)
+        listener = TraceListener(ParameterlessMethods(5))
+        key = listener.sample(std_stack(MAIN, A, b_empty, C))
+        assert key.depth == 2
+
+    def test_static_with_params_does_not_stop(self):
+        s = method("s", params=2, static=True)
+        listener = TraceListener(ParameterlessMethods(3))
+        key = listener.sample(std_stack(MAIN, A, s, C))
+        assert key.depth == 3
+
+
+class TestClassMethodTermination:
+    def test_static_callee_stops_at_depth_one(self):
+        s = method("s", params=2, static=True)
+        listener = TraceListener(ClassMethods(5))
+        key = listener.sample(std_stack(MAIN, A, B, s))
+        assert key.depth == 1
+
+    def test_instance_chain_walks(self):
+        listener = TraceListener(ClassMethods(3))
+        key = listener.sample(std_stack(MAIN, A, B, C))
+        assert key.depth == 3
+
+    def test_static_mid_chain_stops(self):
+        s = method("s", params=2, static=True)
+        listener = TraceListener(ClassMethods(5))
+        key = listener.sample(std_stack(MAIN, A, s, C))
+        assert key.depth == 2
+
+
+class TestLargeMethodTermination:
+    def test_large_caller_included_then_stop(self):
+        costs = CostModel()
+        big = method("big", params=2, bytecodes=costs.medium_limit + 50)
+        listener = TraceListener(LargeMethods(5, costs))
+        key = listener.sample(std_stack(MAIN, big, B, C))
+        # Walk: edge1 adds B, edge2 adds big (stop_at) -> depth 2.
+        assert key.depth == 2
+        assert key.context[-1][0] == big.id
+        assert listener.termination_reasons.get("stop_at") == 1
+
+    def test_large_callee_immediate_caller(self):
+        costs = CostModel()
+        big = method("big", params=2, bytecodes=costs.medium_limit + 50)
+        listener = TraceListener(LargeMethods(5, costs))
+        key = listener.sample(std_stack(MAIN, A, big, C))
+        # Edge 1's caller is big: recorded, then stop.
+        assert key.depth == 1
+
+
+class TestHybrids:
+    def test_hybrid1_stops_on_static_or_parameterless(self):
+        s = method("s", params=2, static=True)
+        listener = TraceListener(ParameterlessClassMethods(5))
+        key = listener.sample(std_stack(MAIN, A, s, C))
+        assert key.depth == 2
+
+        empty = method("e", params=1)
+        listener2 = TraceListener(ParameterlessClassMethods(5))
+        key2 = listener2.sample(std_stack(MAIN, A, B, empty))
+        assert key2.depth == 1
+
+    def test_hybrid2_combines_parameterless_and_large(self):
+        costs = CostModel()
+        big = method("big", params=2, bytecodes=costs.medium_limit + 50)
+        listener = TraceListener(ParameterlessLargeMethods(5, costs))
+        key = listener.sample(std_stack(MAIN, big, B, C))
+        assert key.depth == 2  # stopped at the large caller
+
+        empty = method("e", params=1)
+        listener2 = TraceListener(ParameterlessLargeMethods(5, costs))
+        key2 = listener2.sample(std_stack(MAIN, A, B, empty))
+        assert key2.depth == 1  # parameterless callee
+
+
+class TestTerminationProbe:
+    def test_probe_statistics(self):
+        costs = CostModel()
+        probe = TerminationStatsProbe(costs)
+        empty = method("e", params=1)
+        big = method("big", params=2, bytecodes=costs.medium_limit + 50)
+        s = method("s", params=2, static=True)
+
+        probe.sample(std_stack(MAIN, A, empty))     # callee parameterless
+        probe.sample(std_stack(MAIN, s, A, C))      # static at position 2
+        probe.sample(std_stack(big, A, B, C))       # large at position 3
+
+        assert probe.samples == 3
+        assert probe.fraction_immediately_parameterless() == \
+            pytest.approx(1 / 3)
+        # main (params=0, static) counts as parameterless when reached;
+        # the third stack contains no parameterless method at all.
+        assert probe.fraction_parameterless_within(5) == pytest.approx(2 / 3)
+        assert probe.fraction_class_method_within(2) > 0
+        assert 0.0 <= probe.fraction_large_at_or_beyond(3) <= 1.0
+
+    def test_probe_ignores_entry_only_stack(self):
+        probe = TerminationStatsProbe(CostModel())
+        probe.sample(stack_from([(MAIN, None)]))
+        assert probe.samples == 0

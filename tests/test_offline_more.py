@@ -1,0 +1,43 @@
+"""Additional coverage for pinned-rule (offline) runs interacting with the
+rest of the AOS."""
+
+import pytest
+
+from repro.experiments.offline import (collect_full_profile,
+                                       derive_offline_rules,
+                                       run_with_pinned_rules)
+from repro.jvm.costs import DEFAULT_COSTS
+
+SCALE = 0.12
+
+
+class TestPinnedRulesInteractions:
+    @pytest.fixture(scope="class")
+    def pinned(self):
+        dcg, online = collect_full_profile("db", "fixed", 2, scale=SCALE)
+        rules = derive_offline_rules(dcg)
+        offline = run_with_pinned_rules("db", "fixed", 2, rules,
+                                        scale=SCALE)
+        return online, offline, rules
+
+    def test_offline_first_compiles_use_final_rules(self, pinned):
+        _online, offline, rules = pinned
+        # With rules pinned from cycle zero, every compiled method was
+        # compiled under the same fingerprint: no recompiles beyond v1
+        # except invalidation/OSR-driven ones.
+        assert offline.opt_compilations > 0
+
+    def test_offline_guard_behaviour_consistent(self, pinned):
+        online, offline, _rules = pinned
+        # db's pinned run should eliminate (or nearly eliminate) the
+        # dispatch thrash the online run pays during its transient.
+        assert offline.dispatches <= online.dispatches * 1.2
+
+    def test_rules_independent_of_production_run(self, pinned):
+        _online, offline, rules = pinned
+        assert offline.rule_count == len(rules)
+
+    def test_table1_counts_unchanged_by_pinning(self, pinned):
+        online, offline, _rules = pinned
+        assert online.methods_compiled == offline.methods_compiled
+        assert online.classes_loaded == offline.classes_loaded

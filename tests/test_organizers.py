@@ -1,0 +1,316 @@
+"""Unit tests for the AOS organizers (with a minimal fake machine)."""
+
+import pytest
+
+from repro.aos.cost_accounting import (AI_ORGANIZER, CostAccounting,
+                                       DECAY_ORGANIZER, METHOD_ORGANIZER)
+from repro.aos.database import AOSDatabase
+from repro.aos.listeners import MethodListener, TraceListener
+from repro.aos.organizers import (AIOrganizer, AOSState, DCGOrganizer,
+                                  DecayOrganizer, HotMethodsOrganizer,
+                                  MAX_OPT_VERSIONS, MissingEdgeOrganizer)
+from repro.compiler.code_cache import CodeCache
+from repro.compiler.compiled_method import (CompiledMethod, GuardOption,
+                                            InlineDecision, InlineNode,
+                                            DIRECT, GUARDED)
+from repro.jvm.costs import CostModel
+from repro.jvm.frames import Frame
+from repro.jvm.program import (Arg, Const, MethodDef, Return, StaticCall,
+                               VirtualCall, Work)
+from repro.policies.catalog import ContextInsensitive, FixedLevel
+from repro.profiles.trace import TraceKey
+
+
+class FakeMachine:
+    """Just enough machine for organizers: a clock and an accountant."""
+
+    def __init__(self):
+        self.clock = 0.0
+        self.accounting = CostAccounting()
+
+    def charge(self, component, cycles):
+        self.clock += cycles
+        self.accounting.charge(component, cycles)
+
+
+class FakeController:
+    def __init__(self):
+        self.hot = []
+        self.recompiles = []
+
+    def method_is_hot(self, method_id, samples):
+        self.hot.append((method_id, samples))
+
+    def recompile_for_missing_edge(self, method_id):
+        self.recompiles.append(method_id)
+
+
+def key(callee, *pairs):
+    return TraceKey(callee, tuple(pairs))
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def state():
+    return AOSState()
+
+
+class TestDCGOrganizer:
+    def test_drains_buffer_into_dcg(self, state, costs):
+        policy = ContextInsensitive()
+        listener = TraceListener(policy)
+        listener.buffer.extend([key("D", ("C", 1)), key("D", ("C", 1))])
+        organizer = DCGOrganizer(state, policy, costs)
+        machine = FakeMachine()
+        assert organizer.run(machine, listener) == 2
+        assert state.dcg.weight(key("D", ("C", 1))) == 2.0
+        assert listener.buffer == []
+        assert machine.accounting.cycles[AI_ORGANIZER] == \
+            2 * costs.dcg_ingest_cost
+
+    def test_empty_buffer_free(self, state, costs):
+        policy = ContextInsensitive()
+        organizer = DCGOrganizer(state, policy, costs)
+        machine = FakeMachine()
+        assert organizer.run(machine, TraceListener(policy)) == 0
+        assert machine.clock == 0.0
+
+
+class TestAIOrganizer:
+    def _feed(self, state, weight_by_key):
+        for k, w in weight_by_key.items():
+            state.dcg.add(k, w)
+
+    def test_below_min_weight_no_rules(self, state, costs):
+        self._feed(state, {key("D", ("C", 1)): 5.0})
+        organizer = AIOrganizer(state, costs)
+        organizer.run(FakeMachine())
+        assert state.rules == []
+
+    def test_enter_streak_gates_rule_creation(self, state, costs):
+        self._feed(state, {key("D", ("C", 1)): 50.0})
+        organizer = AIOrganizer(state, costs)
+        machine = FakeMachine()
+        for _ in range(organizer.ENTER_STREAK - 1):
+            organizer.run(machine)
+            assert state.rules == []  # not enough consecutive hot epochs
+        organizer.run(machine)
+        assert [r.callee for r in state.rules] == ["D"]
+
+    def test_rule_retained_in_warm_band(self, state, costs):
+        hot_key = key("D", ("C", 1))
+        self._feed(state, {hot_key: 50.0, key("X", ("Y", 2)): 100.0})
+        organizer = AIOrganizer(state, costs)
+        machine = FakeMachine()
+        organizer.run(machine)
+        organizer.run(machine)
+        assert any(r.callee == "D" for r in state.rules)
+        # Push D's share just below the 1.5% threshold but above the
+        # retention band: rule must survive.
+        state.dcg.add(key("X", ("Y", 2)), 3720.0)
+        for _ in range(5):
+            organizer.run(machine)
+        share = state.dcg.weight(hot_key) / state.dcg.total_weight
+        assert share < costs.hot_edge_threshold
+        assert share > costs.hot_edge_threshold * organizer.RETAIN_FRACTION
+        assert any(r.callee == "D" for r in state.rules)
+
+    def test_rule_retired_after_cold_epochs(self, state, costs):
+        organizer = AIOrganizer(state, costs)
+        machine = FakeMachine()
+        self._feed(state, {key("D", ("C", 1)): 50.0})
+        organizer.run(machine)
+        organizer.run(machine)
+        assert state.rules
+        # Bury it far below the retention band.
+        state.dcg.add(key("X", ("Y", 2)), 100_000.0)
+        for _ in range(organizer.EXIT_STREAK):
+            organizer.run(machine)
+        assert all(r.callee != "D" for r in state.rules)
+
+    def test_fingerprint_stable_when_rules_unchanged(self, state, costs):
+        organizer = AIOrganizer(state, costs)
+        machine = FakeMachine()
+        self._feed(state, {key("D", ("C", 1)): 50.0})
+        organizer.run(machine)
+        organizer.run(machine)
+        fp1 = state.rules_fingerprint
+        state.dcg.add(key("D", ("C", 1)), 1.0)  # weight moves, set doesn't
+        organizer.run(machine)
+        assert state.rules_fingerprint == fp1
+
+
+class TestHotMethodsOrganizer:
+    def test_aggregates_and_reports_hot(self, state, costs):
+        organizer = HotMethodsOrganizer(state, costs)
+        listener = MethodListener()
+        controller = FakeController()
+        machine = FakeMachine()
+        listener.buffer.extend(["C.m"] * costs.hot_method_samples)
+        organizer.run(machine, listener, controller)
+        assert controller.hot == [("C.m", float(costs.hot_method_samples))]
+        assert machine.accounting.cycles[METHOD_ORGANIZER] > 0
+
+    def test_below_bar_not_reported(self, state, costs):
+        organizer = HotMethodsOrganizer(state, costs)
+        listener = MethodListener()
+        controller = FakeController()
+        listener.buffer.extend(["C.m"] * (costs.hot_method_samples - 1))
+        organizer.run(FakeMachine(), listener, controller)
+        assert controller.hot == []
+
+    def test_counts_accumulate_across_epochs(self, state, costs):
+        organizer = HotMethodsOrganizer(state, costs)
+        controller = FakeController()
+        for _ in range(costs.hot_method_samples):
+            listener = MethodListener()
+            listener.buffer.append("C.m")
+            organizer.run(FakeMachine(), listener, controller)
+        assert controller.hot
+
+
+class TestDecayOrganizer:
+    def test_decays_dcg_and_method_samples(self, state, costs):
+        state.dcg.add(key("D", ("C", 1)), 10.0)
+        state.method_samples["C.m"] = 10.0
+        organizer = DecayOrganizer(state, costs)
+        machine = FakeMachine()
+        organizer.run(machine)
+        assert state.dcg.weight(key("D", ("C", 1))) == \
+            pytest.approx(10.0 * costs.decay_rate)
+        assert state.method_samples["C.m"] == \
+            pytest.approx(10.0 * costs.decay_rate)
+        assert machine.accounting.cycles[DECAY_ORGANIZER] > 0
+
+    def test_tiny_method_counts_dropped(self, state, costs):
+        state.method_samples["C.m"] = 0.1
+        DecayOrganizer(state, costs).run(FakeMachine())
+        assert "C.m" not in state.method_samples
+
+
+def make_compiled(method, version=1, fingerprint=0, decisions=None):
+    root = InlineNode(method, 0)
+    if decisions:
+        root.decisions.update(decisions)
+    return CompiledMethod(root, method.bytecodes, method.bytecodes * 6,
+                          method.bytecodes * 14, version, fingerprint)
+
+
+class TestMissingEdgeOrganizer:
+    def _setup(self, costs):
+        state = AOSState()
+        cache = CodeCache(costs)
+        database = AOSDatabase()
+        organizer = MissingEdgeOrganizer(state, cache, database, costs)
+        return state, cache, database, organizer
+
+    def _hot_method(self, state, method, costs):
+        state.method_samples[method.id] = costs.hot_method_samples + 1.0
+
+    def _method_with_call(self, callee_id="C.callee", site=5):
+        body = [StaticCall(site, callee_id, dst=0), Return(Const(0))]
+        return MethodDef("C", "caller", 0, True, body, bytecodes=40)
+
+    def _callee(self):
+        return MethodDef("C", "callee", 0, True,
+                         [Work(30), Return(Const(0))])
+
+    def test_missed_hot_edge_triggers_recompile(self, costs):
+        state, cache, _db, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        cache.install(make_compiled(caller, fingerprint=111))
+        self._hot_method(state, caller, costs)
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 1
+        assert controller.recompiles == ["C.caller"]
+
+    def test_cold_method_skipped(self, costs):
+        state, cache, _db, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        cache.install(make_compiled(caller, fingerprint=111))
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 0
+
+    def test_same_fingerprint_skipped(self, costs):
+        state, cache, _db, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        cache.install(make_compiled(caller, fingerprint=222))
+        self._hot_method(state, caller, costs)
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 0
+
+    def test_refused_edge_not_rerequested(self, costs):
+        state, cache, database, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        cache.install(make_compiled(caller, fingerprint=111))
+        self._hot_method(state, caller, costs)
+        database.record_refusal("C.caller", 5, "C.callee", "large")
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 0
+
+    def test_already_inlined_edge_skipped(self, costs):
+        state, cache, _db, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        callee = self._callee()
+        decision = InlineDecision(DIRECT,
+                                  [GuardOption(callee, InlineNode(callee, 1))])
+        cache.install(make_compiled(caller, fingerprint=111,
+                                    decisions={5: decision}))
+        self._hot_method(state, caller, costs)
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 0
+
+    def test_stale_guard_triggers_recompile(self, costs):
+        # A guarded site whose target is no longer predicted by any rule.
+        state, cache, _db, organizer = self._setup(costs)
+        body = [VirtualCall(5, "poly", Arg(0), dst=0), Return(Const(0))]
+        caller = MethodDef("C", "caller", 1, True, body, bytecodes=40)
+        stale_target = MethodDef("A", "poly", 1, False,
+                                 [Work(5), Return(Const(0))])
+        decision = InlineDecision(
+            GUARDED, [GuardOption(stale_target,
+                                  InlineNode(stale_target, 1), "A")])
+        cache.install(make_compiled(caller, fingerprint=111,
+                                    decisions={5: decision}))
+        self._hot_method(state, caller, costs)
+        state.rules_fingerprint = 222
+        state.rules = []  # every rule for the site retired
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 1
+
+    def test_version_cap_respected(self, costs):
+        state, cache, _db, organizer = self._setup(costs)
+        caller = self._method_with_call()
+        cache.install(make_compiled(caller, version=MAX_OPT_VERSIONS,
+                                    fingerprint=111))
+        self._hot_method(state, caller, costs)
+        state.rules_fingerprint = 222
+        from repro.profiles.trace import InlineRule
+        state.rules = [InlineRule(key("C.callee", ("C.caller", 5)),
+                                  10.0, 0.05)]
+        controller = FakeController()
+        assert organizer.run(FakeMachine(), controller) == 0

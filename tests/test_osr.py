@@ -1,0 +1,94 @@
+"""Tests for on-stack replacement of long-running baseline loops."""
+
+import pytest
+
+from repro.aos.runtime import AdaptiveRuntime
+from repro.jvm.costs import CostModel, DEFAULT_COSTS
+from repro.jvm.program import (Arg, Const, Local, Loop, Return, StaticCall,
+                               Work)
+from repro.policies import make_policy
+from repro.workloads.builder import ProgramBuilder
+
+
+def loop_heavy_program(iterations=6000):
+    """main is one long loop: invisible to invocation-biased sampling."""
+    b = ProgramBuilder("osr")
+    b.cls("Main")
+    b.static_method("Main", "tinywork", [Work(3), Return(Const(0))])
+    b.static_method("Main", "main", [
+        Loop(Const(iterations), 0, [
+            Work(4),
+            StaticCall(100, "Main.tinywork", dst=1),
+        ]),
+        Return(Const(0)),
+    ], locals_=4)
+    b.entry("Main.main")
+    return b.build()
+
+
+class TestOSR:
+    def test_loop_transfers_to_optimized_code(self):
+        runtime = AdaptiveRuntime(loop_heavy_program(),
+                                  make_policy("cins", 1))
+        result = runtime.run()
+        assert result.osr_transfers >= 1
+        assert runtime.code_cache.opt_version("Main.main") is not None
+        # The OSR compile is logged with its own reason.
+        events = runtime.database.compilations_of("Main.main")
+        assert events and events[0].reason == "osr"
+
+    def test_osr_faster_than_without(self):
+        on = AdaptiveRuntime(loop_heavy_program(),
+                             make_policy("cins", 1)).run()
+        costs_off = DEFAULT_COSTS.replace(osr_enabled=False)
+        off = AdaptiveRuntime(loop_heavy_program(),
+                              make_policy("cins", 1), costs_off).run()
+        assert off.osr_transfers == 0
+        # The loop spends the run at baseline without OSR: clearly slower.
+        assert on.total_cycles < off.total_cycles
+
+    def test_backedges_counted(self):
+        runtime = AdaptiveRuntime(loop_heavy_program(500),
+                                  make_policy("cins", 1))
+        runtime.run()
+        assert runtime.machine.backedge_counts.get("Main.main") == 500
+
+    def test_threshold_gates_request(self):
+        # A loop shorter than the threshold never requests OSR.
+        costs = DEFAULT_COSTS.replace(osr_backedge_threshold=10 ** 9)
+        runtime = AdaptiveRuntime(loop_heavy_program(),
+                                  make_policy("cins", 1), costs)
+        result = runtime.run()
+        assert result.osr_transfers == 0
+        assert not runtime.database.compilations_of("Main.main")
+
+    def test_transferred_loop_result_unchanged(self):
+        on = AdaptiveRuntime(loop_heavy_program(),
+                             make_policy("cins", 1)).run()
+        costs_off = DEFAULT_COSTS.replace(osr_enabled=False)
+        off = AdaptiveRuntime(loop_heavy_program(),
+                              make_policy("cins", 1), costs_off).run()
+        assert on.return_value == off.return_value
+
+    def test_counts_accumulate_across_loop_executions(self):
+        # A method whose loop runs multiple times accumulates back edges
+        # across invocations (Jikes counters are per-method).
+        b = ProgramBuilder("osr2")
+        b.cls("Main")
+        b.static_method("Main", "inner", [
+            Loop(Const(100), 0, [Work(2)]),
+            Return(Const(0)),
+        ], params=1, locals_=2)
+        b.static_method("Main", "main", [
+            Loop(Const(30), 0, [
+                StaticCall(1, "Main.inner", [Local(0)], dst=1),
+            ]),
+            Return(Const(0)),
+        ], locals_=4)
+        b.entry("Main.main")
+        runtime = AdaptiveRuntime(b.build(), make_policy("cins", 1))
+        runtime.run()
+        counts = runtime.machine.backedge_counts
+        # inner may get optimized partway through (stopping baseline
+        # counting), but the count must exceed one execution's worth.
+        assert counts.get("Main.inner", 0) >= 100

@@ -1,0 +1,110 @@
+"""Unit tests for policy construction and the imprecision-driven policy."""
+
+import pytest
+
+from repro.jvm.costs import CostModel
+from repro.jvm.errors import ConfigError
+from repro.jvm.program import Const, MethodDef, Return
+from repro.policies import POLICY_LABELS, make_policy
+from repro.policies.base import ContextSensitivityPolicy
+from repro.policies.catalog import ContextInsensitive, FixedLevel
+from repro.policies.imprecision import GIVE_UP_EPOCHS, ImprecisionDriven
+from repro.profiles.dcg import DynamicCallGraph
+from repro.profiles.trace import TraceKey
+
+
+def method(name, params=1, static=False, bytecodes=20):
+    return MethodDef("K", name, params, static, [Return(Const(0))],
+                     bytecodes=bytecodes)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_all_labels_constructible(self, label):
+        policy = make_policy(label, 3)
+        assert isinstance(policy, ContextSensitivityPolicy)
+        assert policy.label == label
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigError):
+            make_policy("nonsense", 2)
+
+    def test_cins_is_depth_one(self):
+        assert make_policy("cins", 5).max_depth == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            FixedLevel(0)
+
+    def test_name_includes_depth(self):
+        assert make_policy("fixed", 4).name == "fixed(max=4)"
+
+    def test_base_policy_never_stops(self):
+        policy = ContextSensitivityPolicy(3)
+        m = method("m", params=0, static=True)
+        assert not policy.stop_below(m)
+        assert not policy.stop_at(m)
+        assert policy.depth_limit("X", 1) == 3
+        policy.observe(DynamicCallGraph())  # no-op hook
+
+
+class TestImprecisionDriven:
+    def _unskewed_dcg(self):
+        dcg = DynamicCallGraph()
+        dcg.add(TraceKey("T1", (("C", 1),)), 10.0)
+        dcg.add(TraceKey("T2", (("C", 1),)), 10.0)
+        return dcg
+
+    def test_sites_start_at_depth_one(self):
+        policy = ImprecisionDriven(4)
+        assert policy.depth_limit("C", 1) == 1
+
+    def test_unskewed_site_deepened(self):
+        policy = ImprecisionDriven(4)
+        policy.observe(self._unskewed_dcg())
+        assert policy.depth_limit("C", 1) == 2
+
+    def test_skewed_site_untouched(self):
+        policy = ImprecisionDriven(4)
+        dcg = DynamicCallGraph()
+        dcg.add(TraceKey("T1", (("C", 1),)), 19.0)
+        dcg.add(TraceKey("T2", (("C", 1),)), 1.0)
+        policy.observe(dcg)
+        assert policy.depth_limit("C", 1) == 1
+
+    def test_resolution_halts_deepening(self):
+        policy = ImprecisionDriven(4)
+        dcg = self._unskewed_dcg()
+        policy.observe(dcg)  # depth 2
+        # Now deeper samples reveal per-context monomorphism.
+        dcg.add(TraceKey("T1", (("C", 1), ("X", 2))), 30.0)
+        dcg.add(TraceKey("T2", (("C", 1), ("Y", 3))), 30.0)
+        policy.observe(dcg)
+        assert policy.depth_limit("C", 1) == 2  # resolved; no more depth
+        assert ("C", 1) in policy.deepened_sites()
+
+    def test_inherently_polymorphic_abandoned(self):
+        policy = ImprecisionDriven(2)
+        dcg = self._unskewed_dcg()
+        # Add deep-but-still-unskewed context samples.
+        dcg.add(TraceKey("T1", (("C", 1), ("X", 2))), 10.0)
+        dcg.add(TraceKey("T2", (("C", 1), ("X", 2))), 10.0)
+        for _ in range(1 + GIVE_UP_EPOCHS):
+            policy.observe(dcg)
+        assert policy.depth_limit("C", 1) == 1
+        assert policy.abandoned_sites() == 1
+
+    def test_abandoned_site_not_redeepened(self):
+        policy = ImprecisionDriven(2)
+        dcg = self._unskewed_dcg()
+        dcg.add(TraceKey("T1", (("C", 1), ("X", 2))), 10.0)
+        dcg.add(TraceKey("T2", (("C", 1), ("X", 2))), 10.0)
+        for _ in range(2 + GIVE_UP_EPOCHS):
+            policy.observe(dcg)
+        assert policy.depth_limit("C", 1) == 1
+
+    def test_epoch_counter(self):
+        policy = ImprecisionDriven(3)
+        policy.observe(DynamicCallGraph())
+        policy.observe(DynamicCallGraph())
+        assert policy.epochs == 2

@@ -1,0 +1,67 @@
+"""Smoke matrix: every policy family runs end-to-end on real workloads.
+
+These are coarse integration tests; the precise figure shapes live in the
+bench harness.  Here we assert the invariants that must hold for *any*
+policy: accounting consistency, depth bounds, and profile sanity.
+"""
+
+import pytest
+
+from repro.aos.cost_accounting import ALL_COMPONENTS
+from repro.aos.runtime import AdaptiveRuntime
+from repro.policies import POLICY_LABELS, make_policy
+from repro.workloads.spec import build_benchmark
+
+DEPTH = 3
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for label in POLICY_LABELS:
+        generated = build_benchmark("jess", scale=0.15)
+        runtime = AdaptiveRuntime(generated.program,
+                                  make_policy(label, DEPTH))
+        out[label] = runtime.run()
+    return out
+
+
+class TestPolicyMatrix:
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_run_completes(self, results, label):
+        assert results[label].return_value == 0
+
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_accounting_consistent(self, results, label):
+        result = results[label]
+        total = sum(result.component_cycles[c] for c in ALL_COMPONENTS)
+        assert total == pytest.approx(result.total_cycles)
+
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_trace_depths_bounded(self, results, label):
+        result = results[label]
+        max_allowed = 1 if label == "cins" else DEPTH
+        assert max(result.depth_histogram) <= max_allowed
+
+    def test_cins_always_depth_one(self, results):
+        assert set(results["cins"].depth_histogram) == {1}
+
+    def test_fixed_reaches_beyond_depth_one(self, results):
+        assert max(results["fixed"].depth_histogram) > 1
+
+    def test_adaptive_policies_shallower_than_fixed(self, results):
+        fixed_depth = results["fixed"].mean_trace_depth
+        for label in ("paramLess", "class", "hybrid1", "imprecision"):
+            assert results[label].mean_trace_depth <= fixed_depth + 0.3
+
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_some_optimization_happened(self, results, label):
+        result = results[label]
+        assert result.opt_compilations > 0
+        assert result.rule_count > 0
+
+    @pytest.mark.parametrize("label", POLICY_LABELS)
+    def test_table1_counts_policy_independent(self, results, label):
+        result = results[label]
+        assert result.classes_loaded == 176
+        assert result.methods_compiled == 1101

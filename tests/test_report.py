@@ -1,0 +1,75 @@
+"""Unit tests for the ASCII report renderers."""
+
+from repro.metrics.report import (format_fraction_bars, format_percent,
+                                  format_percent_matrix, format_table)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[-1]
+        # Separator spans the header line.
+        assert set(lines[1]) == {"-"}
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [["1"]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(["h"], [["wide-cell-content"]])
+        assert "wide-cell-content" in out
+
+
+class TestFormatPercent:
+    def test_sign_always_shown(self):
+        assert format_percent(3.14) == "+3.1%"
+        assert format_percent(-2.0) == "-2.0%"
+        assert format_percent(0.0) == "+0.0%"
+
+
+class TestPercentMatrix:
+    def test_matrix_rendering(self):
+        values = {"jess": {2: 1.5, 3: -0.5}, "db": {2: 4.0, 3: 2.0}}
+        out = format_percent_matrix("T", ["jess", "db"], [2, 3], values)
+        assert "max=2" in out and "max=3" in out
+        assert "+1.5%" in out and "-0.5%" in out
+
+    def test_missing_cell_rendered_as_dashes(self):
+        out = format_percent_matrix("T", ["jess"], [2, 3],
+                                    {"jess": {2: 1.0}})
+        assert "--" in out
+
+
+class TestFractionBars:
+    def test_percentages_and_total(self):
+        series = {"cins": {"compilation_thread": 0.012,
+                           "aos_listeners": 0.003}}
+        out = format_fraction_bars(
+            "F6", ["cins"], series,
+            ["aos_listeners", "compilation_thread"])
+        assert "1.200%" in out
+        assert "0.300%" in out
+        assert "1.500%" in out  # total
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        from repro.metrics.report import format_bar_chart
+        out = format_bar_chart("T", {"a": 10.0, "b": -5.0})
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "+10.0%" in lines[1]
+        assert "-5.0%" in lines[2]
+        # The positive bar is twice as long as the negative one.
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_empty_values(self):
+        from repro.metrics.report import format_bar_chart
+        assert format_bar_chart("T", {}) == "T"
+
+    def test_zero_values_no_crash(self):
+        from repro.metrics.report import format_bar_chart
+        out = format_bar_chart("", {"a": 0.0})
+        assert "+0.0%" in out

@@ -1,0 +1,59 @@
+"""Sanity contracts on every RunResult field (the harness's data model)."""
+
+import dataclasses
+
+import pytest
+
+from repro.aos.runtime import AdaptiveRuntime, RunResult
+from repro.policies import make_policy
+from repro.workloads.spec import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def result():
+    generated = build_benchmark("mtrt", scale=0.08)
+    runtime = AdaptiveRuntime(generated.program, make_policy("large", 3))
+    return runtime.run()
+
+
+class TestRunResultContracts:
+    def test_is_a_dataclass(self):
+        assert dataclasses.is_dataclass(RunResult)
+
+    def test_identity_fields(self, result):
+        assert result.program_name == "mtrt"
+        assert result.policy_name == "large(max=3)"
+
+    def test_counts_nonnegative(self, result):
+        for field_name in ("opt_code_bytes", "live_opt_code_bytes",
+                           "opt_compilations", "opt_inlined_bytecodes",
+                           "samples_taken", "traces_recorded", "dcg_traces",
+                           "rule_count", "refusals", "guard_tests",
+                           "guard_misses", "dispatches", "inline_entries",
+                           "calls", "osr_transfers", "invalidations"):
+            assert getattr(result, field_name) >= 0, field_name
+
+    def test_live_at_most_cumulative(self, result):
+        assert result.live_opt_code_bytes <= result.opt_code_bytes
+
+    def test_guard_misses_at_most_tests(self, result):
+        assert result.guard_misses <= result.guard_tests
+
+    def test_mean_depth_within_histogram_range(self, result):
+        depths = result.depth_histogram
+        assert min(depths) <= result.mean_trace_depth <= max(depths)
+
+    def test_aos_fraction_in_unit_interval(self, result):
+        assert 0.0 <= result.aos_fraction() < 1.0
+
+    def test_app_cycles_property(self, result):
+        assert result.app_cycles == result.component_cycles["app"]
+
+    def test_compile_cycles_positive_when_compiles_happened(self, result):
+        if result.opt_compilations:
+            assert result.opt_compile_cycles > 0
+
+    def test_json_serializable(self, result):
+        import json
+        payload = json.dumps(dataclasses.asdict(result))
+        assert "mtrt" in payload

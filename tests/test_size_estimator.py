@@ -1,0 +1,89 @@
+"""Unit tests for the method size classifier (paper Section 3.1)."""
+
+import pytest
+
+from repro.compiler.size_estimator import (CONST_ARG_DISCOUNT,
+                                           MIN_ESTIMATE_FRACTION, SizeClass,
+                                           classify, count_constant_args,
+                                           estimate_inlined_bytecodes,
+                                           is_large)
+from repro.jvm.costs import CostModel
+from repro.jvm.program import Arg, Const, Local, MethodDef, Return, Work
+
+
+def method_of_size(bytecodes: int) -> MethodDef:
+    return MethodDef("C", "m", 1, True, [Work(1)], bytecodes=bytecodes)
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+class TestClassBoundaries:
+    def test_tiny_below_2x_call(self, costs):
+        assert classify(method_of_size(costs.tiny_limit - 1),
+                        costs) is SizeClass.TINY
+
+    def test_small_at_tiny_limit(self, costs):
+        assert classify(method_of_size(costs.tiny_limit),
+                        costs) is SizeClass.SMALL
+
+    def test_small_up_to_5x_call(self, costs):
+        assert classify(method_of_size(costs.small_limit),
+                        costs) is SizeClass.SMALL
+
+    def test_medium_above_small_limit(self, costs):
+        assert classify(method_of_size(costs.small_limit + 1),
+                        costs) is SizeClass.MEDIUM
+
+    def test_medium_up_to_25x_call(self, costs):
+        assert classify(method_of_size(costs.medium_limit),
+                        costs) is SizeClass.MEDIUM
+
+    def test_large_above_25x_call(self, costs):
+        assert classify(method_of_size(costs.medium_limit + 1),
+                        costs) is SizeClass.LARGE
+
+    def test_is_large_helper(self, costs):
+        assert is_large(method_of_size(costs.medium_limit + 1), costs)
+        assert not is_large(method_of_size(10), costs)
+
+
+class TestConstantArgDiscount:
+    def test_no_constants_no_discount(self):
+        m = method_of_size(100)
+        assert estimate_inlined_bytecodes(m, 0) == 100
+
+    def test_each_constant_shrinks_estimate(self):
+        m = method_of_size(100)
+        e0 = estimate_inlined_bytecodes(m, 0)
+        e1 = estimate_inlined_bytecodes(m, 1)
+        e2 = estimate_inlined_bytecodes(m, 2)
+        assert e0 > e1 > e2
+
+    def test_discount_floor(self):
+        m = method_of_size(100)
+        floor = int(100 * MIN_ESTIMATE_FRACTION)
+        assert estimate_inlined_bytecodes(m, 50) == floor
+
+    def test_estimate_never_below_one(self):
+        m = method_of_size(1)
+        assert estimate_inlined_bytecodes(m, 10) == 1
+
+    def test_discount_can_change_class(self, costs):
+        # A method just over the medium limit becomes MEDIUM with enough
+        # constant arguments (the paper's Section 3.1 footnote effect).
+        size = costs.medium_limit + 4
+        m = method_of_size(size)
+        assert classify(m, costs, 0) is SizeClass.LARGE
+        assert classify(m, costs, 2) is SizeClass.MEDIUM
+
+
+class TestCountConstantArgs:
+    def test_counts_only_consts(self):
+        args = [Const(1), Arg(0), Local(2), Const(5)]
+        assert count_constant_args(args) == 2
+
+    def test_empty(self):
+        assert count_constant_args([]) == 0

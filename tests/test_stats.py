@@ -1,0 +1,108 @@
+"""Unit and property tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (geometric_mean, harmonic_mean,
+                                 harmonic_mean_speedup, median,
+                                 percent_change, speedup_percent)
+
+positive_floats = st.floats(min_value=0.01, max_value=1e6,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestHarmonicMean:
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_single_value(self):
+        assert harmonic_mean([5.0]) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_never_exceeds_arithmetic_mean(self, values):
+        hm = harmonic_mean(values)
+        am = sum(values) / len(values)
+        assert hm <= am * (1 + 1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_bounded_by_extremes(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+class TestSpeedup:
+    def test_speedup_positive_when_faster(self):
+        assert speedup_percent(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_speedup_negative_when_slower(self):
+        assert speedup_percent(100.0, 125.0) == pytest.approx(-20.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_percent(100.0, 0.0)
+
+    def test_harmonic_mean_speedup_identity(self):
+        assert harmonic_mean_speedup([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_harmonic_mean_speedup_mixed(self):
+        # Equal +x and -x do not cancel exactly (harmonic, not arithmetic).
+        value = harmonic_mean_speedup([10.0, -10.0])
+        assert value < 0.0
+
+
+class TestPercentChange:
+    def test_increase(self):
+        assert percent_change(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_decrease(self):
+        assert percent_change(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=15))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= gm <= max(values) * (1 + 1e-9)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=15))
+    def test_median_within_range(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)

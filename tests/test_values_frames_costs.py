@@ -1,0 +1,73 @@
+"""Unit tests for small substrate modules: values, frames, cost model."""
+
+import pytest
+
+from repro.jvm.costs import CostModel, DEFAULT_COSTS
+from repro.jvm.frames import Frame, physical_method
+from repro.jvm.program import Const, MethodDef, Return
+from repro.jvm.values import Instance, dynamic_class
+
+
+class TestValues:
+    def test_instance_carries_class(self):
+        assert Instance("K").klass == "K"
+
+    def test_instances_have_identity(self):
+        a, b = Instance("K"), Instance("K")
+        assert a is not b
+
+    def test_dynamic_class_of_instance(self):
+        assert dynamic_class(Instance("K")) == "K"
+
+    def test_dynamic_class_of_int_rejected(self):
+        with pytest.raises(TypeError):
+            dynamic_class(7)
+
+
+class TestFrames:
+    def _method(self, name):
+        return MethodDef("C", name, 0, True, [Return(Const(0))])
+
+    def test_physical_method_skips_inlined(self):
+        stack = [Frame(self._method("root"), None, False),
+                 Frame(self._method("inl1"), 1, True),
+                 Frame(self._method("inl2"), 2, True)]
+        assert physical_method(stack).name == "root"
+
+    def test_physical_method_top_when_not_inlined(self):
+        stack = [Frame(self._method("root"), None, False),
+                 Frame(self._method("callee"), 1, False)]
+        assert physical_method(stack).name == "callee"
+
+    def test_empty_stack(self):
+        assert physical_method([]) is None
+
+
+class TestCostModel:
+    def test_defaults_match_module_constants(self):
+        from repro.jvm import costs
+        model = CostModel()
+        assert model.sample_interval == costs.SAMPLE_INTERVAL
+        assert model.hot_edge_threshold == costs.HOT_EDGE_THRESHOLD
+        assert model.tiny_limit == 2 * costs.CALL_UNITS
+        assert model.small_limit == 5 * costs.CALL_UNITS
+        assert model.medium_limit == 25 * costs.CALL_UNITS
+
+    def test_estimated_speedup_derived(self):
+        model = CostModel(baseline_exec_mult=3.0, opt_exec_mult=1.5)
+        assert model.estimated_opt_speedup == pytest.approx(2.0)
+
+    def test_replace_is_nondestructive(self):
+        model = CostModel()
+        changed = model.replace(hot_edge_threshold=0.05)
+        assert changed.hot_edge_threshold == 0.05
+        assert model.hot_edge_threshold != 0.05
+        assert changed.sample_interval == model.sample_interval
+
+    def test_default_costs_singleton_sane(self):
+        assert DEFAULT_COSTS.baseline_exec_mult > DEFAULT_COSTS.opt_exec_mult
+        assert 0.0 < DEFAULT_COSTS.hot_edge_threshold < 1.0
+        assert 0.0 < DEFAULT_COSTS.guard_coverage_min <= 1.0
+        assert 0.0 < DEFAULT_COSTS.decay_rate <= 1.0
+        assert DEFAULT_COSTS.tiny_limit < DEFAULT_COSTS.small_limit \
+            < DEFAULT_COSTS.medium_limit
