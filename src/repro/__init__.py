@@ -70,6 +70,10 @@ from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
                                  TraceListener)
 from repro.aos.runtime import AdaptiveRuntime, RunResult
 
+# -- telemetry -------------------------------------------------------------------------
+from repro.telemetry import (NullRecorder, TelemetryRecorder,
+                             TelemetrySnapshot, to_chrome_trace)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -86,12 +90,14 @@ __all__ = [
     "Machine", "MachineStats", "MethodDef", "MethodListener", "Mod", "Mul",
     "New", "NewPool", "OptCompiler", "POLICY_LABELS",
     "ParameterlessClassMethods", "ParameterlessLargeMethods",
+    "NullRecorder",
     "ParameterlessMethods", "Pick", "Program", "ProgramError", "ReproError",
     "Return", "RunResult", "SizeClass", "StaticCall", "Stmt", "Sub",
+    "TelemetryRecorder", "TelemetrySnapshot",
     "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
     "VirtualCall", "Work", "applicable_rules", "body_bytecodes",
     "candidate_targets", "classify", "contexts_compatible", "dynamic_class",
     "estimate_inlined_bytecodes", "format_trace", "is_large",
     "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
-    "physical_method",
+    "physical_method", "to_chrome_trace",
 ]

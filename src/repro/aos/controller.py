@@ -34,6 +34,7 @@ from repro.compiler.oracle import InlineOracle
 from repro.jvm.costs import CostModel
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.program import Program
+from repro.telemetry.recorder import NULL_RECORDER
 
 #: Inlining typically grows the compiled size; the controller's cost model
 #: assumes this expansion factor when estimating compile cost up front.
@@ -55,13 +56,15 @@ class Controller:
 
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  state: AOSState, code_cache: CodeCache,
-                 database: AOSDatabase, costs: CostModel):
+                 database: AOSDatabase, costs: CostModel,
+                 telemetry=NULL_RECORDER):
         self._program = program
         self._hierarchy = hierarchy
         self._state = state
         self._code_cache = code_cache
         self._database = database
         self._costs = costs
+        self._telemetry = telemetry
 
         self._hot_events: Dict[str, float] = {}
         self._missing_edge_events: Set[str] = set()
@@ -106,7 +109,10 @@ class Controller:
         self._osr_events.clear()
 
         events = len(hot_events) + len(missing) + len(osr)
+        span_id = None
         if events:
+            span_id = self._telemetry.begin_span(
+                CONTROLLER, "process_events", events=events)
             machine.charge(CONTROLLER, events * costs.controller_event_cost)
         self.decisions_evaluated += events
 
@@ -142,6 +148,11 @@ class Controller:
             created += 1
 
         self.plans_created += created
+        if span_id is not None:
+            self._telemetry.count("controller.events", events)
+            if created:
+                self._telemetry.count("controller.plans", created)
+            self._telemetry.end_span(span_id, plans=created)
         return created
 
     def _approve_first_compile(self, method_id: str, samples: float) -> bool:
@@ -166,7 +177,8 @@ class Controller:
         oracle = InlineOracle(
             self._program, self._hierarchy, self._costs, state.rules,
             on_refusal=database.record_refusal, dcg=state.dcg,
-            on_cha_dependency=database.record_cha_dependency)
+            on_cha_dependency=database.record_cha_dependency,
+            telemetry=self._telemetry)
         plan = CompilationPlan(
             method_id=method_id,
             oracle=oracle,
@@ -181,24 +193,39 @@ class CompilationThread:
 
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  code_cache: CodeCache, database: AOSDatabase,
-                 costs: CostModel):
-        self._compiler = OptCompiler(program, hierarchy, costs)
+                 costs: CostModel, telemetry=NULL_RECORDER):
+        self._compiler = OptCompiler(program, hierarchy, costs,
+                                     telemetry=telemetry)
         self._program = program
         self._code_cache = code_cache
         self._database = database
+        self._telemetry = telemetry
         self.compilations_done = 0
 
     def run(self, machine, queue: Deque[CompilationPlan]) -> int:
+        telemetry = self._telemetry
         done = 0
         while queue:
             plan = queue.popleft()
             method = self._program.method(plan.method_id)
             # Fresh code records fresh CHA dependencies; drop the old set.
             self._database.clear_cha_dependencies(plan.method_id)
+            span_id = telemetry.begin_span(
+                COMPILATION, "opt_compile", method=plan.method_id,
+                version=plan.version, reason=plan.reason)
             compiled = self._compiler.compile(
                 method, plan.oracle, plan.version, plan.rules_fingerprint)
             machine.charge(COMPILATION, compiled.compile_cycles)
             self._code_cache.install(compiled)
+            telemetry.end_span(
+                span_id, self_cycles=compiled.compile_cycles,
+                inlined_bytecodes=compiled.inlined_bytecodes,
+                code_bytes=compiled.code_bytes,
+                inline_nodes=compiled.inline_node_count(),
+                guards=compiled.guard_count())
+            telemetry.observe("opt_compile.cycles", compiled.compile_cycles)
+            telemetry.observe("opt_compile.inlined_bytecodes",
+                              compiled.inlined_bytecodes)
             self._database.log_compilation(CompilationEvent(
                 method_id=plan.method_id,
                 version=plan.version,

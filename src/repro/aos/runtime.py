@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.aos.controller import CompilationThread, Controller
-from repro.aos.cost_accounting import (ALL_COMPONENTS, APP, LISTENERS,
+from repro.aos.cost_accounting import (AI_ORGANIZER, ALL_COMPONENTS, APP,
+                                       CONTROLLER, DECAY_ORGANIZER,
+                                       LISTENERS, METHOD_ORGANIZER,
                                        CostAccounting)
 from repro.aos.database import AOSDatabase
 from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
@@ -32,6 +34,7 @@ from repro.jvm.interpreter import Machine
 from repro.jvm.program import Program
 from repro.jvm.values import Value
 from repro.policies.base import ContextSensitivityPolicy
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
 @dataclass
@@ -89,12 +92,18 @@ class AdaptiveRuntime:
                  policy: ContextSensitivityPolicy,
                  costs: CostModel = DEFAULT_COSTS,
                  probe: Optional[TerminationStatsProbe] = None,
-                 sample_phase: float = 0.0):
+                 sample_phase: float = 0.0,
+                 telemetry: Optional[TelemetryRecorder] = None):
         program.validate()
         self.program = program
         self.policy = policy
         self.costs = costs
         self.probe = probe
+        # Telemetry is pure instrumentation (see repro.telemetry): it
+        # charges no cycles, so traced and untraced runs are
+        # cycle-identical.  The NullRecorder default makes every
+        # instrumentation point a no-op.
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
 
         self.hierarchy = ClassHierarchy(program)
         self.code_cache = CodeCache(costs)
@@ -109,16 +118,23 @@ class AdaptiveRuntime:
         self.hot_methods_organizer = HotMethodsOrganizer(self.state, costs)
         self.decay_organizer = DecayOrganizer(self.state, costs)
         self.controller = Controller(program, self.hierarchy, self.state,
-                                     self.code_cache, self.database, costs)
+                                     self.code_cache, self.database, costs,
+                                     telemetry=self.telemetry)
         self.missing_edge_organizer = MissingEdgeOrganizer(
             self.state, self.code_cache, self.database, costs)
         self.compilation_thread = CompilationThread(
-            program, self.hierarchy, self.code_cache, self.database, costs)
+            program, self.hierarchy, self.code_cache, self.database, costs,
+            telemetry=self.telemetry)
 
         self.machine = Machine(program, self.hierarchy, self.code_cache,
                                costs, self.accounting, self._tick)
-        self.machine.osr_handler = self.controller.osr_request
+        self.machine.osr_handler = self._osr_request
         self.machine.class_load_handler = self._on_class_load
+        self.machine.telemetry = self.telemetry
+        self.code_cache.telemetry = self.telemetry
+        self.telemetry.bind(
+            lambda: self.machine.clock,
+            lambda component: self.accounting.cycles.get(component, 0.0))
 
         # ``sample_phase`` (in [0, 1)) offsets the first timer tick, playing
         # the role of Jikes RVM's timer nondeterminism: the paper reports
@@ -155,7 +171,8 @@ class AdaptiveRuntime:
             self._next_organizer = machine.clock + costs.organizer_period
 
         if clock >= self._next_decay:
-            self.decay_organizer.run(machine)
+            with self.telemetry.span(DECAY_ORGANIZER, "decay_organizer"):
+                self.decay_organizer.run(machine)
             self._next_decay = machine.clock + costs.decay_period
 
         machine.next_event = min(self._next_sample, self._next_organizer,
@@ -163,7 +180,9 @@ class AdaptiveRuntime:
 
     def _take_sample(self, machine: Machine) -> None:
         costs = self.costs
+        telemetry = self.telemetry
         stack = machine.stack
+        span_id = telemetry.begin_span(LISTENERS, "sample_tick")
         self.method_listener.sample(stack)
         machine.charge(LISTENERS, costs.method_listener_cost)
         key = self.trace_listener.sample(stack)
@@ -172,19 +191,41 @@ class AdaptiveRuntime:
                            self.trace_listener.walk_cost(key, costs))
         if self.probe is not None:
             self.probe.sample(stack)
+        telemetry.end_span(span_id,
+                           depth=0 if key is None else key.depth)
         # A full trace buffer wakes the DCG organizer early (Section 3.3).
         if len(self.trace_listener.buffer) >= costs.trace_buffer_capacity:
-            self.dcg_organizer.run(machine, self.trace_listener)
+            with telemetry.span(AI_ORGANIZER, "dcg_organizer",
+                                trigger="buffer_full"):
+                self.dcg_organizer.run(machine, self.trace_listener)
 
     def _organizer_wake(self, machine: Machine) -> None:
-        self.dcg_organizer.run(machine, self.trace_listener)
-        self.ai_organizer.run(machine)
-        self.hot_methods_organizer.run(machine, self.method_listener,
-                                       self.controller)
-        self.missing_edge_organizer.run(machine, self.controller)
+        telemetry = self.telemetry
+        fingerprint = self.state.rules_fingerprint
+        wake_id = telemetry.begin_span("scheduler", "organizer_wake")
+        with telemetry.span(AI_ORGANIZER, "dcg_organizer"):
+            self.dcg_organizer.run(machine, self.trace_listener)
+        with telemetry.span(AI_ORGANIZER, "ai_organizer"):
+            self.ai_organizer.run(machine)
+        with telemetry.span(METHOD_ORGANIZER, "hot_methods_organizer"):
+            self.hot_methods_organizer.run(machine, self.method_listener,
+                                           self.controller)
+        with telemetry.span(AI_ORGANIZER, "missing_edge_organizer"):
+            self.missing_edge_organizer.run(machine, self.controller)
         self.controller.process_events(machine)
         self.compilation_thread.run(machine,
                                     self.controller.compilation_queue)
+        if self.state.rules_fingerprint != fingerprint:
+            telemetry.instant(AI_ORGANIZER, "rules_changed",
+                              rules=len(self.state.rules))
+        telemetry.end_span(wake_id)
+
+    # -- OSR ---------------------------------------------------------------------
+
+    def _osr_request(self, method_id: str) -> None:
+        """Machine OSR trigger: note the event, forward to the controller."""
+        self.telemetry.instant(CONTROLLER, "osr_request", method=method_id)
+        self.controller.osr_request(method_id)
 
     # -- class loading -------------------------------------------------------------
 
@@ -205,6 +246,9 @@ class AdaptiveRuntime:
                     if self.code_cache.invalidate(root_id):
                         self.database.log_invalidation(
                             root_id, selector, self.machine.clock)
+                        self.telemetry.instant(
+                            CONTROLLER, "invalidation", method=root_id,
+                            selector=selector, loaded_class=class_name)
                     self.database.clear_cha_dependencies(root_id)
                     break
 
@@ -218,9 +262,14 @@ class AdaptiveRuntime:
         # Flush whatever the listeners buffered after the last wake, so
         # post-run profile inspection (and the offline-rule experiments)
         # see every sample taken.
-        self.dcg_organizer.run(self.machine, self.trace_listener)
-        self.hot_methods_organizer.run(self.machine, self.method_listener,
-                                       self.controller)
+        with self.telemetry.span(AI_ORGANIZER, "dcg_organizer",
+                                 trigger="final_flush"):
+            self.dcg_organizer.run(self.machine, self.trace_listener)
+        with self.telemetry.span(METHOD_ORGANIZER, "hot_methods_organizer",
+                                 trigger="final_flush"):
+            self.hot_methods_organizer.run(self.machine,
+                                           self.method_listener,
+                                           self.controller)
         return self._result(value)
 
     def _result(self, value: Value) -> RunResult:

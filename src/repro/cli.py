@@ -16,6 +16,12 @@ Commands
     Run the threshold / decay ablations (E8/E9).
 ``termination``
     The Section 4 early-termination statistics (E6).
+``inspect``
+    Run one benchmark and dump inline trees plus the AOS event log.
+``trace``
+    Run one benchmark with telemetry enabled, export a Chrome trace-event
+    JSON (open at https://ui.perfetto.dev), and print the per-component
+    overhead summary reconciled against the run's cost accounting.
 """
 
 from __future__ import annotations
@@ -91,6 +97,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="how many inline trees to print")
     inspect_cmd.add_argument("--events", type=int, default=40,
                              help="how many timeline events to print")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one benchmark with telemetry and export a Chrome trace")
+    trace.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    trace.add_argument("--policy", default="cins", choices=POLICY_LABELS)
+    trace.add_argument("--depth", type=int, default=1,
+                       help="maximum context-sensitivity depth")
+    trace.add_argument("--scale", type=float, default=1.0,
+                       help="run-length scale factor")
+    trace.add_argument("--phase", type=float, default=0.0,
+                       help="sampling phase in [0, 1)")
+    trace.add_argument("-o", "--out", default="trace.json",
+                       help="output path for the Chrome trace-event JSON "
+                            "(open at https://ui.perfetto.dev)")
     return parser
 
 
@@ -203,6 +224,34 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.telemetry import (TelemetryRecorder, reconcile, summarize,
+                                 write_chrome_trace)
+
+    recorder = TelemetryRecorder(
+        label=f"{args.benchmark}/{args.policy}/max{args.depth}")
+    result = run_single(args.benchmark, args.policy, args.depth,
+                        phase=args.phase, scale=args.scale,
+                        telemetry=recorder)
+    snapshot = recorder.snapshot()
+    events = write_chrome_trace(args.out, snapshot)
+
+    _rows, rendered = summarize(snapshot)
+    print(rendered)
+    print()
+    ok, _check_rows, rendered_check = reconcile(snapshot,
+                                                result.component_cycles)
+    print(rendered_check)
+    print()
+    print(f"{events} trace events -> {args.out} "
+          f"(load in https://ui.perfetto.dev or chrome://tracing)")
+    if not ok:
+        print("telemetry does NOT reconcile with cost accounting",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
@@ -211,6 +260,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "termination": _cmd_termination,
     "inspect": _cmd_inspect,
+    "trace": _cmd_trace,
 }
 
 

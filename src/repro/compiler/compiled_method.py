@@ -143,6 +143,19 @@ class CompiledMethod:
     def method(self) -> MethodDef:
         return self.root.method
 
+    def inline_node_count(self) -> int:
+        """Number of method bodies in the inline tree (root included)."""
+        return sum(1 for _node in self.root.walk())
+
+    def guard_count(self) -> int:
+        """Total guard tests compiled in (one per guarded option)."""
+        guards = 0
+        for node in self.root.walk():
+            for decision in node.decisions.values():
+                if decision.kind == GUARDED:
+                    guards += len(decision.options)
+        return guards
+
     def inlined_edges(self) -> List[Tuple[str, int, str]]:
         """All (caller_id, site, callee_id) edges expanded in this code."""
         edges = []

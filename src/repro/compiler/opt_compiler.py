@@ -24,6 +24,7 @@ from repro.jvm.program import (S_IF, S_INTERFACE_CALL, S_LOOP,
                                S_STATIC_CALL, S_VIRTUAL_CALL, MethodDef,
                                Program, Stmt)
 from repro.profiles.trace import Context
+from repro.telemetry.recorder import NULL_RECORDER
 
 
 def iter_call_sites(body) -> Iterator[Stmt]:
@@ -43,10 +44,11 @@ class OptCompiler:
     """Simulated optimizing compiler for one program."""
 
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
-                 costs: CostModel):
+                 costs: CostModel, telemetry=NULL_RECORDER):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
+        self._telemetry = telemetry
 
     def compile(self, method: MethodDef, oracle: InlineOracle,
                 version: int = 1,
@@ -55,8 +57,12 @@ class OptCompiler:
         root = InlineNode(method, depth=0)
         # Mutable single-element list so nested expansion sees committed size.
         total_size = [method.bytecodes]
-        self._expand(root, (), total_size, method, oracle)
+        sites = [0, 0]  # [considered, inlined] across the whole expansion
+        self._expand(root, (), total_size, method, oracle, sites)
 
+        self._telemetry.count("opt_compiler.compiles")
+        self._telemetry.count("opt_compiler.sites_considered", sites[0])
+        self._telemetry.count("opt_compiler.sites_inlined", sites[1])
         inlined_bytecodes = total_size[0]
         code_bytes = inlined_bytecodes * self._costs.opt_bytes_per_bc
         compile_cycles = inlined_bytecodes * self._costs.opt_compile_cycles_per_bc
@@ -67,15 +73,17 @@ class OptCompiler:
 
     def _expand(self, node: InlineNode, context_above: Context,
                 total_size: List[int], root: MethodDef,
-                oracle: InlineOracle) -> None:
+                oracle: InlineOracle, sites: List[int]) -> None:
         """Decide every call site in ``node`` and recurse into inlined bodies."""
         for stmt in iter_call_sites(node.method.body):
+            sites[0] += 1
             comp_context: Context = (
                 ((node.method.id, stmt.site),) + context_above)
             decision = oracle.decide(stmt, comp_context, node.depth,
                                      total_size[0], root)
             if not decision.inline:
                 continue
+            sites[1] += 1
 
             const_args = count_constant_args(stmt.args)
             options = []
@@ -85,7 +93,8 @@ class OptCompiler:
                 options.append(GuardOption(
                     target, child,
                     guard_class=target.klass if decision.guarded else None))
-                self._expand(child, comp_context, total_size, root, oracle)
+                self._expand(child, comp_context, total_size, root, oracle,
+                             sites)
 
             kind = GUARDED if decision.guarded else DIRECT
             node.decisions[stmt.site] = InlineDecision(kind, options)

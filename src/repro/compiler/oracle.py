@@ -36,6 +36,7 @@ from repro.jvm.program import (E_ARG, InterfaceCall, MethodDef, Program,
                                StaticCall, VirtualCall)
 from repro.profiles.partial_match import candidate_targets, contexts_compatible
 from repro.profiles.trace import Context, InlineRule
+from repro.telemetry.recorder import NULL_RECORDER
 
 #: Refusal reasons that are permanent for a given rule set and therefore
 #: recorded in the AOS database (the missing-edge organizer must not keep
@@ -121,12 +122,14 @@ class InlineOracle:
                  costs: CostModel, rules: Sequence[InlineRule] = (),
                  on_refusal: Optional[RefusalSink] = None,
                  dcg=None,
-                 on_cha_dependency: Optional[DependencySink] = None):
+                 on_cha_dependency: Optional[DependencySink] = None,
+                 telemetry=NULL_RECORDER):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
         self._on_refusal = on_refusal
         self._on_cha_dependency = on_cha_dependency
+        self._telemetry = telemetry
         #: Optional read-only view of the dynamic call graph, used for the
         #: guard-coverage (receiver-skew) test.  ``None`` disables the test
         #: (useful for unit tests of the pure rule logic).
@@ -153,12 +156,18 @@ class InlineOracle:
         inline nesting depth of the site.
         """
         if isinstance(stmt, StaticCall):
-            return self._decide_static(stmt, comp_context, depth,
-                                       current_size, root)
-        if isinstance(stmt, (VirtualCall, InterfaceCall)):
-            return self._decide_virtual(stmt, comp_context, depth,
-                                        current_size, root)
-        raise TypeError(f"not a call statement: {stmt!r}")
+            decision = self._decide_static(stmt, comp_context, depth,
+                                           current_size, root)
+        elif isinstance(stmt, (VirtualCall, InterfaceCall)):
+            decision = self._decide_virtual(stmt, comp_context, depth,
+                                            current_size, root)
+        else:
+            raise TypeError(f"not a call statement: {stmt!r}")
+        self._telemetry.count("oracle.decisions")
+        if decision.inline:
+            self._telemetry.count("oracle.inlines.guarded" if decision.guarded
+                                  else "oracle.inlines.direct")
+        return decision
 
     def profile_predicts(self, caller_id: str, site: int,
                          comp_context: Context) -> Dict[str, float]:
@@ -338,4 +347,5 @@ class InlineOracle:
     def _record(self, caller_id: str, site: int, callee_id: str,
                 reason: str) -> None:
         if self._on_refusal is not None and reason in RECORDED_REFUSALS:
+            self._telemetry.count(f"oracle.refusals.{reason}")
             self._on_refusal(caller_id, site, callee_id, reason)

@@ -17,14 +17,16 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aos.listeners import TerminationStatsProbe
 from repro.aos.runtime import AdaptiveRuntime, RunResult
 from repro.experiments.config import SweepConfig
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.policies import make_policy
+from repro.telemetry.recorder import TelemetryRecorder, TelemetrySnapshot
 from repro.workloads.spec import build_benchmark
 
 #: Key identifying one sweep cell.
@@ -34,32 +36,60 @@ CellKey = Tuple[str, str, int]  # (benchmark, family, depth)
 def run_single(benchmark: str, family: str, depth: int,
                phase: float = 0.0, scale: float = 1.0,
                costs: CostModel = DEFAULT_COSTS,
-               probe: Optional[TerminationStatsProbe] = None) -> RunResult:
+               probe: Optional[TerminationStatsProbe] = None,
+               telemetry: Optional[TelemetryRecorder] = None) -> RunResult:
     """Run one benchmark under one policy at one sampling phase."""
     generated = build_benchmark(benchmark, scale=scale)
     policy = make_policy(family, depth, costs)
     runtime = AdaptiveRuntime(generated.program, policy, costs,
-                              probe=probe, sample_phase=phase)
+                              probe=probe, sample_phase=phase,
+                              telemetry=telemetry)
     return runtime.run()
 
 
 def run_cell(benchmark: str, family: str, depth: int,
              phases: Sequence[float], scale: float = 1.0,
-             costs: CostModel = DEFAULT_COSTS) -> RunResult:
-    """Best-of-phases run for one sweep cell (paper methodology)."""
+             costs: CostModel = DEFAULT_COSTS,
+             probe: Optional[TerminationStatsProbe] = None,
+             collect_telemetry: bool = False) \
+        -> Union[RunResult, Tuple[RunResult, TelemetrySnapshot]]:
+    """Best-of-phases run for one sweep cell (paper methodology).
+
+    With ``collect_telemetry`` each phase runs under a fresh
+    :class:`TelemetryRecorder` and the best run's frozen snapshot is
+    returned alongside its :class:`RunResult` as a 2-tuple.
+    """
     best: Optional[RunResult] = None
+    best_snapshot: Optional[TelemetrySnapshot] = None
     for phase in phases:
-        result = run_single(benchmark, family, depth, phase, scale, costs)
+        recorder = None
+        if collect_telemetry:
+            recorder = TelemetryRecorder(
+                label=f"{benchmark}/{family}/max{depth}@{phase:g}")
+        result = run_single(benchmark, family, depth, phase, scale, costs,
+                            probe=probe, telemetry=recorder)
         if best is None or result.total_cycles < best.total_cycles:
             best = result
+            if recorder is not None:
+                best_snapshot = recorder.snapshot()
     assert best is not None
+    if collect_telemetry:
+        assert best_snapshot is not None
+        return best, best_snapshot
     return best
 
 
-def _cell_worker(args) -> Tuple[CellKey, RunResult]:
-    benchmark, family, depth, phases, scale = args
-    result = run_cell(benchmark, family, depth, phases, scale)
-    return (benchmark, family, depth), result
+def _cell_worker(args) \
+        -> Tuple[CellKey, RunResult, Optional[TelemetrySnapshot]]:
+    benchmark, family, depth, phases, scale, probe, collect_telemetry = args
+    snapshot: Optional[TelemetrySnapshot] = None
+    if collect_telemetry:
+        result, snapshot = run_cell(benchmark, family, depth, phases, scale,
+                                    probe=probe, collect_telemetry=True)
+    else:
+        result = run_cell(benchmark, family, depth, phases, scale,
+                          probe=probe)
+    return (benchmark, family, depth), result, snapshot
 
 
 @dataclass
@@ -68,6 +98,11 @@ class SweepResults:
 
     config: SweepConfig
     cells: Dict[CellKey, RunResult]
+    #: Per-cell telemetry snapshots when the sweep ran with
+    #: ``collect_telemetry``; ``None`` otherwise.  Deliberately excluded
+    #: from the JSON cache (the on-disk format is unchanged), so loading a
+    #: cached sweep yields ``telemetry=None``.
+    telemetry: Optional[Dict[CellKey, TelemetrySnapshot]] = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -132,29 +167,44 @@ class SweepResults:
 
 
 def run_sweep(config: SweepConfig = SweepConfig(),
-              verbose: bool = False) -> SweepResults:
-    """Run the full sweep, fanning cells out over worker processes."""
+              verbose: bool = False,
+              collect_telemetry: bool = False) -> SweepResults:
+    """Run the full sweep, fanning cells out over worker processes.
+
+    With ``collect_telemetry`` every cell's best run carries a frozen
+    :class:`TelemetrySnapshot` back from its worker process; the merged
+    view lives on ``SweepResults.telemetry`` (see
+    :mod:`repro.telemetry.aggregate` for cross-cell merging).
+    """
     cells = config.configurations()
-    args = [(benchmark, family, depth, config.phases, config.scale)
+    args = [(benchmark, family, depth, config.phases, config.scale,
+             None, collect_telemetry)
             for benchmark, family, depth in cells]
 
     jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
     jobs = min(jobs, len(args))
     results: Dict[CellKey, RunResult] = {}
+    telemetry: Optional[Dict[CellKey, TelemetrySnapshot]] = \
+        {} if collect_telemetry else None
 
     if jobs <= 1:
         for arg in args:
-            key, result = _cell_worker(arg)
+            key, result, snapshot = _cell_worker(arg)
             results[key] = result
+            if telemetry is not None and snapshot is not None:
+                telemetry[key] = snapshot
             if verbose:
                 print(f"  done {key}")
     else:
         with multiprocessing.Pool(jobs) as pool:
-            for key, result in pool.imap_unordered(_cell_worker, args):
+            for key, result, snapshot in pool.imap_unordered(
+                    _cell_worker, args):
                 results[key] = result
+                if telemetry is not None and snapshot is not None:
+                    telemetry[key] = snapshot
                 if verbose:
                     print(f"  done {key}")
-    return SweepResults(config=config, cells=results)
+    return SweepResults(config=config, cells=results, telemetry=telemetry)
 
 
 def load_or_run_sweep(cache_path: str,
@@ -167,8 +217,13 @@ def load_or_run_sweep(cache_path: str,
                 cached = SweepResults.from_json(handle.read())
             if cached.config == config:
                 return cached
-        except (ValueError, KeyError, TypeError):
-            pass  # stale/corrupt cache: fall through and regenerate
+        except (ValueError, KeyError, TypeError) as exc:
+            # Corrupt or structurally stale cache: say so before quietly
+            # regenerating, so surprising re-runs are explicable.
+            warnings.warn(
+                f"sweep cache {cache_path!r} is unreadable "
+                f"({type(exc).__name__}: {exc}); regenerating it",
+                RuntimeWarning, stacklevel=2)
     results = run_sweep(config, verbose=verbose)
     cache_dir = os.path.dirname(cache_path)
     if cache_dir:

@@ -38,6 +38,7 @@ from repro.jvm.program import (
     Expr, MethodDef, Program, Stmt,
 )
 from repro.jvm.values import Instance, Value
+from repro.telemetry.recorder import NULL_RECORDER
 
 #: Hard cap on source-level stack depth; exceeding it is a workload bug.
 #: Kept below what Python's default recursion limit can host (each
@@ -78,6 +79,10 @@ class Machine:
         self.tick_handler = tick_handler
 
         self.clock = 0.0
+        #: Telemetry sink (spans for lazy baseline compiles, OSR instants);
+        #: the adaptive runtime swaps in its recorder, the NullRecorder
+        #: default charges and allocates nothing.
+        self.telemetry = NULL_RECORDER
         #: The next clock value at which :attr:`tick_handler` fires.
         self.next_event = float("inf")
         #: Source-level shadow stack (includes inlined activations).
@@ -153,8 +158,16 @@ class Machine:
                     self._opt_mult, compiled.root)
             else:
                 if not self.code_cache.has_baseline(method.id):
+                    # ``self_cycles`` is passed explicitly: the charge can
+                    # fire a timer tick whose organizer spans nest inside
+                    # this one, and the accounting delta would then fold
+                    # their compilation-thread cycles into this span.
+                    span_id = self.telemetry.begin_span(
+                        COMPILATION, "baseline_compile", method=method.id)
                     cycles = self.code_cache.compile_baseline(method)
                     self.charge(COMPILATION, cycles)
+                    self.telemetry.end_span(span_id, self_cycles=cycles,
+                                            bytecodes=method.bytecodes)
                 result = self._exec_body(
                     method.body, args, [0] * method.num_locals,
                     self._baseline_mult, None)
@@ -254,6 +267,9 @@ class Machine:
                                     node = compiled.root
                                     mult = self._opt_mult
                                     self.stats.osr_transfers += 1
+                                    self.telemetry.instant(
+                                        APP, "osr_transfer",
+                                        method=method_id)
                     self.backedge_counts[method_id] = edges + count
                 else:
                     for i in range(count):

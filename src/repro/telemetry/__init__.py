@@ -1,0 +1,37 @@
+"""Unified tracing/metrics for the adaptive optimization system.
+
+The subsystem has four parts:
+
+* :mod:`~repro.telemetry.recorder` -- deterministic spans, instants,
+  counters, gauges, and histograms on the simulated cycle clock, with a
+  zero-overhead :class:`NullRecorder` default;
+* :mod:`~repro.telemetry.chrome_trace` -- Chrome trace-event JSON export
+  (open in Perfetto), one track per AOS component;
+* :mod:`~repro.telemetry.summary` -- per-component overhead tables that
+  reconcile exactly with :class:`~repro.aos.cost_accounting.CostAccounting`;
+* :mod:`~repro.telemetry.aggregate` -- merging recorders across sweep
+  worker processes into combined tables and multi-process traces.
+"""
+
+from repro.telemetry.recorder import (NULL_RECORDER, HistogramData,
+                                      InstantRecord, NullRecorder,
+                                      SpanRecord, TelemetryRecorder,
+                                      TelemetrySnapshot)
+from repro.telemetry.chrome_trace import (to_chrome_trace, trace_events,
+                                          write_chrome_trace)
+from repro.telemetry.summary import (component_totals, fractions, reconcile,
+                                     span_stats, summarize)
+from repro.telemetry.aggregate import (merge_component_totals, merge_counters,
+                                       merge_histograms, merged_chrome_trace,
+                                       render_aggregate,
+                                       write_merged_chrome_trace)
+
+__all__ = [
+    "NULL_RECORDER", "HistogramData", "InstantRecord", "NullRecorder",
+    "SpanRecord", "TelemetryRecorder", "TelemetrySnapshot",
+    "component_totals", "fractions", "merge_component_totals",
+    "merge_counters", "merge_histograms", "merged_chrome_trace",
+    "reconcile", "render_aggregate", "span_stats", "summarize",
+    "to_chrome_trace", "trace_events", "write_chrome_trace",
+    "write_merged_chrome_trace",
+]

@@ -1,0 +1,108 @@
+"""Cross-process telemetry aggregation for experiment sweeps.
+
+Sweep cells run in worker processes; each worker freezes its recorder
+into a picklable :class:`~repro.telemetry.recorder.TelemetrySnapshot`
+that travels back with the cell's :class:`~repro.aos.runtime.RunResult`.
+This module merges those per-cell snapshots: combined component totals,
+summed counters, folded histograms, and a single multi-process Chrome
+trace (one ``pid`` per cell, so Perfetto shows the whole sweep as one
+inspectable timeline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Tuple
+
+from repro.aos.cost_accounting import ALL_COMPONENTS
+from repro.metrics.report import format_table
+from repro.telemetry.chrome_trace import trace_events
+from repro.telemetry.recorder import HistogramData, TelemetrySnapshot
+from repro.telemetry.summary import component_totals
+
+
+def merge_component_totals(
+        snapshots: Mapping[str, TelemetrySnapshot]) -> Dict[str, float]:
+    """Sum per-component span cycles (plus the app residual) across runs."""
+    merged: Dict[str, float] = {}
+    for snapshot in snapshots.values():
+        for component, cycles in component_totals(snapshot).items():
+            merged[component] = merged.get(component, 0.0) + cycles
+    return merged
+
+
+def merge_counters(
+        snapshots: Mapping[str, TelemetrySnapshot]) -> Dict[str, float]:
+    """Sum every monotonic counter across runs."""
+    merged: Dict[str, float] = {}
+    for snapshot in snapshots.values():
+        for name, value in snapshot.counters.items():
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def merge_histograms(
+        snapshots: Mapping[str, TelemetrySnapshot]) \
+        -> Dict[str, HistogramData]:
+    """Fold every histogram across runs (bucket-wise)."""
+    merged: Dict[str, HistogramData] = {}
+    for snapshot in snapshots.values():
+        for name, histogram in snapshot.histograms.items():
+            if name not in merged:
+                merged[name] = HistogramData()
+            merged[name].merge(histogram)
+    return merged
+
+
+def merged_chrome_trace(
+        snapshots: Mapping[str, TelemetrySnapshot]) -> dict:
+    """One Chrome trace spanning every run: one process (pid) per label."""
+    events: List[dict] = []
+    total = 0.0
+    for pid, label in enumerate(sorted(snapshots), start=1):
+        snapshot = snapshots[label]
+        per_run = trace_events(snapshot, pid=pid)
+        # The per-run process_name metadata already names the run; prefer
+        # the mapping key so sweep cells are labelled consistently.
+        for event in per_run:
+            if event.get("name") == "process_name":
+                event["args"] = {"name": label}
+        events.extend(per_run)
+        total += snapshot.total_cycles
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "runs": len(snapshots),
+            "total_cycles": total,
+            "clock_unit": "simulated cycles (rendered as microseconds)",
+        },
+    }
+
+
+def write_merged_chrome_trace(
+        path: str, snapshots: Mapping[str, TelemetrySnapshot]) -> int:
+    """Write the merged multi-process trace; returns the event count."""
+    trace = merged_chrome_trace(snapshots)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def render_aggregate(
+        snapshots: Mapping[str, TelemetrySnapshot]) -> Tuple[dict, str]:
+    """Aggregate overhead table across runs; returns (data, rendered)."""
+    totals = merge_component_totals(snapshots)
+    grand_total = sum(s.total_cycles for s in snapshots.values()) or 1.0
+    components = [c for c in ALL_COMPONENTS if c in totals]
+    components += sorted(c for c in totals if c not in ALL_COMPONENTS)
+    rows = [[component, f"{totals[component]:,.0f}",
+             f"{100.0 * totals[component] / grand_total:.3f}%"]
+            for component in components]
+    rendered = format_table(
+        ["component", "cycles", "% of total"], rows,
+        title=f"Aggregate telemetry over {len(snapshots)} runs "
+              f"({grand_total:,.0f} cycles)")
+    data = {"totals": totals, "total_cycles": grand_total,
+            "counters": merge_counters(snapshots)}
+    return data, rendered

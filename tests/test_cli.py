@@ -82,6 +82,37 @@ class TestFigureBars:
         assert "harMean at max=" in out
 
 
+class TestTraceCommand:
+    def test_trace_writes_chrome_trace_and_reconciles(self, tmp_path,
+                                                      capsys):
+        import json
+
+        out_path = str(tmp_path / "trace.json")
+        code = main(["trace", "jess", "--policy", "hybrid1", "--depth", "3",
+                     "--scale", "0.05", "-o", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry component summary" in out
+        assert "reconciliation" in out
+        assert "perfetto" in out
+
+        with open(out_path) as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"]
+        assert events
+        assert all({"ph", "ts", "pid", "tid", "name"} <= set(event)
+                   for event in events)
+        assert any(event["ph"] == "X" and event["name"] == "opt_compile"
+                   for event in events)
+
+    def test_trace_default_output_name(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "db", "--scale", "0.05"]) == 0
+        assert (tmp_path / "trace.json").exists()
+        capsys.readouterr()
+
+
 class TestInspectCommand:
     def test_inspect_prints_trees_and_events(self, capsys):
         code = main(["inspect", "jess", "--policy", "fixed", "--depth",

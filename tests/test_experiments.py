@@ -11,8 +11,11 @@ from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
 from repro.experiments.figures import (FIGURE6_COMPONENTS, figure2, figure4,
                                        figure5, figure6, headline, table1,
                                        termination_stats)
-from repro.experiments.runner import (SweepResults, load_or_run_sweep,
-                                      run_cell, run_single, run_sweep)
+from repro.aos.listeners import TerminationStatsProbe
+from repro.experiments.runner import (SweepResults, _cell_worker,
+                                      load_or_run_sweep, run_cell,
+                                      run_single, run_sweep)
+from repro.jvm.costs import DEFAULT_COSTS
 from repro.workloads.spec import BENCHMARK_ORDER
 
 TINY = SweepConfig(benchmarks=("jess", "db"), families=("fixed", "hybrid1"),
@@ -90,13 +93,59 @@ class TestSerialization:
         regenerated = load_or_run_sweep(str(path), other)
         assert regenerated.config == other
 
-    def test_corrupt_cache_regenerated(self, tmp_path):
+    def test_corrupt_cache_regenerated_with_warning(self, tmp_path):
         path = tmp_path / "sweep.json"
         path.write_text("{not json!")
         small = SweepConfig(benchmarks=("db",), families=("fixed",),
                             depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
-        result = load_or_run_sweep(str(path), small)
+        with pytest.warns(RuntimeWarning, match="regenerating"):
+            result = load_or_run_sweep(str(path), small)
         assert result.config == small
+
+    def test_truncated_cache_regenerated_with_warning(self, tiny_sweep,
+                                                      tmp_path):
+        # A partially written cache (e.g. a killed sweep) is valid-looking
+        # JSON syntax up to the cut, but unreadable; the warning must name
+        # the path and the failure so the silent re-run is explicable.
+        path = tmp_path / "sweep.json"
+        path.write_text(tiny_sweep.to_json()[:200])
+        small = SweepConfig(benchmarks=("db",), families=("fixed",),
+                            depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        with pytest.warns(RuntimeWarning) as captured:
+            result = load_or_run_sweep(str(path), small)
+        assert result.config == small
+        message = str(captured[0].message)
+        assert str(path) in message
+        assert "unreadable" in message
+        # The fresh sweep replaced the truncated file on disk.
+        assert SweepResults.from_json(path.read_text()).config == small
+
+
+class TestProbeThreading:
+    def test_run_cell_threads_probe(self):
+        probe = TerminationStatsProbe(DEFAULT_COSTS)
+        run_cell("jess", "fixed", 2, phases=(0.0,), scale=0.05, probe=probe)
+        assert probe.samples > 0
+        assert sum(probe.first_parameterless.values()) == probe.samples
+
+    def test_run_cell_probe_sees_every_phase(self):
+        # The probe accumulates across the best-of-phases runs: two phases
+        # must record (strictly) more samples than one.
+        one = TerminationStatsProbe(DEFAULT_COSTS)
+        run_cell("jess", "fixed", 2, phases=(0.0,), scale=0.05, probe=one)
+        two = TerminationStatsProbe(DEFAULT_COSTS)
+        run_cell("jess", "fixed", 2, phases=(0.0, 0.5), scale=0.05,
+                 probe=two)
+        assert two.samples > one.samples
+
+    def test_cell_worker_threads_probe(self):
+        probe = TerminationStatsProbe(DEFAULT_COSTS)
+        key, result, snapshot = _cell_worker(
+            ("jess", "fixed", 2, (0.0,), 0.05, probe, False))
+        assert key == ("jess", "fixed", 2)
+        assert result.total_cycles > 0
+        assert snapshot is None
+        assert probe.samples > 0
 
 
 class TestFigures:
