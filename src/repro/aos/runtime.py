@@ -243,13 +243,22 @@ class AdaptiveRuntime:
             for selector, target_id in per_selector.items():
                 targets = self.hierarchy.loaded_targets(selector)
                 if targets and targets != frozenset((target_id,)):
+                    # Only a *successful* invalidation may drop the
+                    # root's dependency records: when there is no
+                    # installed code to discard (e.g. the compile is
+                    # still in flight), clearing here would orphan the
+                    # remaining selectors and leave a later class load
+                    # unable to ever invalidate this method.
                     if self.code_cache.invalidate(root_id):
                         self.database.log_invalidation(
                             root_id, selector, self.machine.clock)
                         self.telemetry.instant(
                             CONTROLLER, "invalidation", method=root_id,
                             selector=selector, loaded_class=class_name)
-                    self.database.clear_cha_dependencies(root_id)
+                        self.database.clear_cha_dependencies(root_id)
+                        # Deoptimized back to baseline: re-arm OSR so a
+                        # still-hot loop can request recompilation.
+                        self.machine.on_code_invalidated(root_id)
                     break
 
     # -- execution ---------------------------------------------------------------

@@ -32,7 +32,8 @@ from typing import List, Optional, Sequence
 
 from repro.aos.cost_accounting import APP
 from repro.aos.runtime import AdaptiveRuntime
-from repro.experiments.config import DEFAULT_PHASES, SweepConfig
+from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
+                                      POLICY_FAMILIES, SweepConfig)
 from repro.experiments.runner import (SweepResults, load_or_run_sweep,
                                       run_single)
 from repro.policies import POLICY_LABELS, make_policy
@@ -64,7 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", type=float, default=1.0)
     sweep.add_argument("--benchmarks", nargs="*", default=None,
                        choices=BENCHMARK_ORDER)
+    sweep.add_argument("--families", nargs="*", default=None,
+                       choices=POLICY_FAMILIES,
+                       help="context-sensitive policy families to sweep "
+                            "(the cins baseline always runs)")
+    sweep.add_argument("--depths", type=int, nargs="*", default=None)
     sweep.add_argument("--phases", type=float, nargs="*", default=None)
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = all cores)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-cell timeout in seconds when running "
+                            "on a worker pool")
+    sweep.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="reuse completed cells from the per-cell "
+                            "cache and rerun only the missing ones "
+                            "(--no-resume disables)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore every cache and rerun the full sweep")
 
     figures = sub.add_parser("figures",
                              help="render figures from a cached sweep")
@@ -152,11 +170,21 @@ def _cmd_sweep(args) -> int:
     config = SweepConfig(
         benchmarks=tuple(args.benchmarks) if args.benchmarks
         else BENCHMARK_ORDER,
+        families=tuple(args.families) if args.families
+        else POLICY_FAMILIES,
+        depths=tuple(args.depths) if args.depths else DEPTHS,
         phases=tuple(args.phases) if args.phases else DEFAULT_PHASES,
-        scale=args.scale)
-    results = load_or_run_sweep(args.out, config, verbose=True)
-    print(f"sweep cached at {args.out} ({len(results.cells)} cells)")
-    return 0
+        scale=args.scale, jobs=args.jobs, cell_timeout=args.timeout)
+    results = load_or_run_sweep(args.out, config, verbose=True,
+                                use_cache=not args.no_cache,
+                                resume=args.resume)
+    print(f"sweep cached at {args.out} ({len(results.cells)} cells, "
+          f"{len(results.failures)} failed)")
+    for key in sorted(results.failures):
+        failure = results.failures[key]
+        print(f"  FAILED {key}: {failure.error_type}: {failure.message} "
+              f"(attempts: {failure.attempts})", file=sys.stderr)
+    return 1 if results.failures else 0
 
 
 def _cmd_figures(args) -> int:

@@ -6,13 +6,26 @@ baseline.  Because the adaptive system is timer-driven and therefore
 phase-sensitive (the paper reports the best of 20 runs for the same
 reason), every configuration here is run at several sampling phases and
 the best run (minimum total cycles) is reported.
+
+This module also defines the *cell fingerprint*: a content hash over
+everything that determines one cell's :class:`RunResult` -- benchmark,
+policy family, depth, sampling phases, workload scale, and the full cost
+model.  The per-cell sweep cache (:mod:`repro.experiments.cell_cache`)
+keys its entries on this fingerprint, so a cached cell is reused exactly
+when rerunning it would reproduce the same bits, regardless of which
+sweep configuration it was originally part of.  Execution-only knobs
+(``jobs``, ``cell_timeout``) deliberately do not enter the fingerprint.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.workloads.spec import BENCHMARK_ORDER
 
 #: The six policy families of Figures 4-6 (x-axis order).
@@ -25,6 +38,38 @@ DEPTHS: Tuple[int, ...] = (2, 3, 4, 5)
 #: Sampling phases emulating timer nondeterminism (best-of-N, like the
 #: paper's best-of-20).
 DEFAULT_PHASES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+
+#: Bumped whenever the fingerprint inputs or the cached cell format
+#: change incompatibly; old cache entries then simply stop matching.
+FINGERPRINT_VERSION = 1
+
+
+def cost_model_fingerprint(costs: CostModel = DEFAULT_COSTS) -> str:
+    """Stable content hash of every tunable in a :class:`CostModel`."""
+    payload = json.dumps(dataclasses.asdict(costs), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cell_fingerprint(benchmark: str, family: str, depth: int,
+                     phases: Sequence[float], scale: float,
+                     costs: CostModel = DEFAULT_COSTS) -> str:
+    """Content hash of everything that determines one cell's result.
+
+    Two invocations with the same fingerprint produce bit-identical
+    :class:`~repro.aos.runtime.RunResult`\\ s (the whole system is
+    seed-deterministic), so the per-cell cache can safely substitute a
+    stored result for a rerun.
+    """
+    payload = json.dumps({
+        "version": FINGERPRINT_VERSION,
+        "benchmark": benchmark,
+        "family": family,
+        "depth": depth,
+        "phases": [float(p) for p in phases],
+        "scale": float(scale),
+        "costs": cost_model_fingerprint(costs),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -41,6 +86,16 @@ class SweepConfig:
     scale: float = 1.0
     #: Worker processes for the sweep (0 = use all available cores).
     jobs: int = 0
+    #: Per-cell wall-clock budget in seconds when running on a worker
+    #: pool; ``None`` disables the limit.  A cell that exceeds it is
+    #: recorded as a structured failure instead of stalling the sweep.
+    cell_timeout: Optional[float] = None
+
+    def cell_fingerprint(self, benchmark: str, family: str, depth: int,
+                         costs: CostModel = DEFAULT_COSTS) -> str:
+        """Fingerprint of one cell under this config's phases and scale."""
+        return cell_fingerprint(benchmark, family, depth,
+                                self.phases, self.scale, costs)
 
     def configurations(self) -> Sequence[Tuple[str, str, int]]:
         """All (benchmark, family, depth) cells, baseline first."""

@@ -3,43 +3,69 @@
 One *cell* of the sweep runs a freshly generated benchmark program under a
 policy at several sampling phases and keeps the best run (minimum total
 cycles), mirroring the paper's best-of-N methodology for its
-non-deterministic timer-sampled system.  Cells are independent, so the
-sweep fans out over worker processes.
+non-deterministic timer-sampled system.  The benchmark program is built
+once per cell and shared by every phase run (generation is
+seed-deterministic and each :class:`AdaptiveRuntime` owns its own
+hierarchy and code cache, so per-phase regeneration was pure waste).
 
-Results are plain dataclasses; :class:`SweepResults` offers the lookups the
-figure formatters need plus JSON (de)serialization so expensive sweeps can
-be cached on disk.
+Cells are independent, so the sweep fans out over worker processes.  The
+pool layer is fault tolerant: a cell whose worker crashes or raises is
+retried once serially and then recorded as a structured
+:class:`CellFailure` instead of killing the sweep, a per-cell timeout
+bounds stragglers, and when process pools are unavailable the sweep
+degrades to in-process execution.  Each finished cell is persisted
+immediately through the content-addressed per-cell cache
+(:mod:`repro.experiments.cell_cache`), making interrupted sweeps
+resumable: ``run_sweep`` first loads every valid cached cell and only
+dispatches the missing ones.
+
+Results are plain dataclasses; :class:`SweepResults` offers the lookups
+the figure formatters need plus JSON (de)serialization so expensive
+sweeps can be cached on disk.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import multiprocessing
 import os
 import warnings
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.aos.listeners import TerminationStatsProbe
 from repro.aos.runtime import AdaptiveRuntime, RunResult
+from repro.experiments.cell_cache import (CellCache, cell_cache_root,
+                                          result_from_dict, result_to_dict)
 from repro.experiments.config import SweepConfig
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.policies import make_policy
 from repro.telemetry.recorder import TelemetryRecorder, TelemetrySnapshot
-from repro.workloads.spec import build_benchmark
+from repro.workloads.spec import GeneratedBenchmark, build_benchmark
 
 #: Key identifying one sweep cell.
 CellKey = Tuple[str, str, int]  # (benchmark, family, depth)
+
+#: Worker attempts per cell before a failure is recorded (the pool
+#: attempt plus one serial retry).
+MAX_CELL_ATTEMPTS = 2
 
 
 def run_single(benchmark: str, family: str, depth: int,
                phase: float = 0.0, scale: float = 1.0,
                costs: CostModel = DEFAULT_COSTS,
                probe: Optional[TerminationStatsProbe] = None,
-               telemetry: Optional[TelemetryRecorder] = None) -> RunResult:
-    """Run one benchmark under one policy at one sampling phase."""
-    generated = build_benchmark(benchmark, scale=scale)
+               telemetry: Optional[TelemetryRecorder] = None,
+               generated: Optional[GeneratedBenchmark] = None) -> RunResult:
+    """Run one benchmark under one policy at one sampling phase.
+
+    ``generated`` lets callers reuse an already-built benchmark program
+    (it is read-only to the runtime); without it the benchmark is built
+    from scratch.
+    """
+    if generated is None:
+        generated = build_benchmark(benchmark, scale=scale)
     policy = make_policy(family, depth, costs)
     runtime = AdaptiveRuntime(generated.program, policy, costs,
                               probe=probe, sample_phase=phase,
@@ -55,24 +81,41 @@ def run_cell(benchmark: str, family: str, depth: int,
         -> Union[RunResult, Tuple[RunResult, TelemetrySnapshot]]:
     """Best-of-phases run for one sweep cell (paper methodology).
 
-    With ``collect_telemetry`` each phase runs under a fresh
+    The benchmark program is generated once and shared by all phase runs;
+    every :class:`AdaptiveRuntime` builds its own hierarchy, code cache,
+    and profile state, so runs stay independent.
+
+    When a ``probe`` is passed, each phase runs under its own fresh
+    :class:`TerminationStatsProbe` and only the *best* run's probe state
+    is folded into the caller's probe -- the termination statistics then
+    describe the run actually reported, not a mixture of all N attempts.
+    With ``collect_telemetry`` each phase likewise runs under a fresh
     :class:`TelemetryRecorder` and the best run's frozen snapshot is
     returned alongside its :class:`RunResult` as a 2-tuple.
     """
+    generated = build_benchmark(benchmark, scale=scale)
     best: Optional[RunResult] = None
     best_snapshot: Optional[TelemetrySnapshot] = None
+    best_probe: Optional[TerminationStatsProbe] = None
     for phase in phases:
         recorder = None
         if collect_telemetry:
             recorder = TelemetryRecorder(
                 label=f"{benchmark}/{family}/max{depth}@{phase:g}")
+        phase_probe = None
+        if probe is not None:
+            phase_probe = TerminationStatsProbe(costs, horizon=probe.horizon)
         result = run_single(benchmark, family, depth, phase, scale, costs,
-                            probe=probe, telemetry=recorder)
+                            probe=phase_probe, telemetry=recorder,
+                            generated=generated)
         if best is None or result.total_cycles < best.total_cycles:
             best = result
+            best_probe = phase_probe
             if recorder is not None:
                 best_snapshot = recorder.snapshot()
     assert best is not None
+    if probe is not None and best_probe is not None:
+        probe.absorb(best_probe)
     if collect_telemetry:
         assert best_snapshot is not None
         return best, best_snapshot
@@ -93,6 +136,24 @@ def _cell_worker(args) \
 
 
 @dataclass
+class CellFailure:
+    """One cell that could not produce a result, with why and how hard
+    the harness tried; recorded in :class:`SweepResults` instead of
+    killing the sweep."""
+
+    benchmark: str
+    family: str
+    depth: int
+    error_type: str
+    message: str
+    attempts: int
+
+    @property
+    def key(self) -> CellKey:
+        return (self.benchmark, self.family, self.depth)
+
+
+@dataclass
 class SweepResults:
     """All cell results of one sweep, with baseline-relative queries."""
 
@@ -103,6 +164,8 @@ class SweepResults:
     #: from the JSON cache (the on-disk format is unchanged), so loading a
     #: cached sweep yields ``telemetry=None``.
     telemetry: Optional[Dict[CellKey, TelemetrySnapshot]] = None
+    #: Cells that failed even after retry, keyed like ``cells``.
+    failures: Dict[CellKey, CellFailure] = field(default_factory=dict)
 
     # -- lookups ---------------------------------------------------------------
 
@@ -143,10 +206,13 @@ class SweepResults:
         payload = {
             "config": dataclasses.asdict(self.config),
             "cells": [
-                {"key": list(key), "result": dataclasses.asdict(result)}
+                {"key": list(key), "result": result_to_dict(result)}
                 for key, result in sorted(self.cells.items())
             ],
         }
+        if self.failures:
+            payload["failures"] = [dataclasses.asdict(self.failures[key])
+                                   for key in sorted(self.failures)]
         return json.dumps(payload)
 
     @classmethod
@@ -159,64 +225,221 @@ class SweepResults:
         cells: Dict[CellKey, RunResult] = {}
         for entry in payload["cells"]:
             key = tuple(entry["key"])
-            raw = entry["result"]
-            raw["depth_histogram"] = {int(k): v for k, v
-                                      in raw["depth_histogram"].items()}
-            cells[key] = RunResult(**raw)  # type: ignore[arg-type]
-        return cls(config=config, cells=cells)
+            cells[key] = result_from_dict(entry["result"])
+        failures: Dict[CellKey, CellFailure] = {}
+        for raw in payload.get("failures", []):
+            failure = CellFailure(**raw)
+            failures[failure.key] = failure
+        return cls(config=config, cells=cells, failures=failures)
+
+
+# -- the fault-tolerant cell executors -----------------------------------------
+
+#: ``finish(key, result, snapshot)`` / ``fail(key, failure)`` sinks.
+_FinishFn = Callable[[CellKey, RunResult, Optional[TelemetrySnapshot]], None]
+_FailFn = Callable[[CellKey, "CellFailure"], None]
+
+
+def _run_cell_with_retry(key: CellKey, args, finish: _FinishFn,
+                         fail: _FailFn, attempts_before: int = 0) -> None:
+    """Run one cell in-process; retry up to :data:`MAX_CELL_ATTEMPTS`.
+
+    ``attempts_before`` counts attempts already burned on a worker pool
+    (a crashed or erroring worker), so a pool failure gets exactly one
+    serial retry before the failure is recorded.
+    """
+    attempts = attempts_before
+    last: Optional[BaseException] = None
+    while attempts < MAX_CELL_ATTEMPTS:
+        attempts += 1
+        try:
+            _key, result, snapshot = _cell_worker(args)
+        except Exception as exc:
+            last = exc
+            continue
+        finish(key, result, snapshot)
+        return
+    assert last is not None
+    fail(key, CellFailure(
+        benchmark=key[0], family=key[1], depth=key[2],
+        error_type=type(last).__name__, message=str(last),
+        attempts=attempts))
+
+
+def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
+                        timeout: Optional[float], finish: _FinishFn,
+                        fail: _FailFn) -> List[CellKey]:
+    """Fan pending cells out over a process pool, fault-tolerantly.
+
+    Returns the cells that still need in-process execution: all of them
+    when no pool could be created (platforms without working
+    ``multiprocessing``), or the cells stranded when a worker crash broke
+    the pool.  In-worker exceptions are retried once serially right here;
+    per-cell timeouts become recorded failures (the cell already proved
+    it exceeds its budget, so it is not retried).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+        executor = ProcessPoolExecutor(max_workers=jobs)
+        futures = [(key, executor.submit(_cell_worker, args_for(key)))
+                   for key in pending]
+    except Exception as exc:
+        warnings.warn(
+            f"worker pool unavailable ({type(exc).__name__}: {exc}); "
+            f"running sweep cells in-process",
+            RuntimeWarning, stacklevel=3)
+        return list(pending)
+
+    stranded: List[CellKey] = []
+    try:
+        for key, future in futures:
+            try:
+                _key, result, snapshot = future.result(timeout=timeout)
+            except FutureTimeout:
+                future.cancel()
+                fail(key, CellFailure(
+                    benchmark=key[0], family=key[1], depth=key[2],
+                    error_type="TimeoutError",
+                    message=f"cell exceeded the per-cell timeout "
+                            f"of {timeout:g}s",
+                    attempts=1))
+            except BrokenProcessPool:
+                # The pool lost a worker process (crash/OOM-kill); the
+                # cells it still owed us run serially instead.
+                stranded.append(key)
+            except Exception:
+                _run_cell_with_retry(key, args_for(key), finish, fail,
+                                     attempts_before=1)
+            else:
+                finish(key, result, snapshot)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return stranded
 
 
 def run_sweep(config: SweepConfig = SweepConfig(),
               verbose: bool = False,
-              collect_telemetry: bool = False) -> SweepResults:
+              collect_telemetry: bool = False,
+              cache: Optional[CellCache] = None) -> SweepResults:
     """Run the full sweep, fanning cells out over worker processes.
 
-    With ``collect_telemetry`` every cell's best run carries a frozen
-    :class:`TelemetrySnapshot` back from its worker process; the merged
-    view lives on ``SweepResults.telemetry`` (see
-    :mod:`repro.telemetry.aggregate` for cross-cell merging).
-    """
-    cells = config.configurations()
-    args = [(benchmark, family, depth, config.phases, config.scale,
-             None, collect_telemetry)
-            for benchmark, family, depth in cells]
+    With a ``cache``, every valid cached cell is loaded up front and only
+    the missing cells are dispatched; each fresh result is persisted the
+    moment its worker finishes, so an interrupted sweep resumes where it
+    died.  Cells that fail even after retry land in
+    ``SweepResults.failures`` instead of aborting the sweep.
 
-    jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
-    jobs = min(jobs, len(args))
+    With ``collect_telemetry`` every *freshly run* cell's best run
+    carries a frozen :class:`TelemetrySnapshot` back from its worker
+    process; cells served from the cache have no snapshot (see
+    :func:`repro.telemetry.aggregate.merge_cell_telemetry` for combining
+    partial maps across resumed runs).
+    """
+    cells = list(config.configurations())
+    total = len(cells)
     results: Dict[CellKey, RunResult] = {}
+    failures: Dict[CellKey, CellFailure] = {}
     telemetry: Optional[Dict[CellKey, TelemetrySnapshot]] = \
         {} if collect_telemetry else None
 
-    if jobs <= 1:
-        for arg in args:
-            key, result, snapshot = _cell_worker(arg)
-            results[key] = result
-            if telemetry is not None and snapshot is not None:
-                telemetry[key] = snapshot
-            if verbose:
-                print(f"  done {key}")
-    else:
-        with multiprocessing.Pool(jobs) as pool:
-            for key, result, snapshot in pool.imap_unordered(
-                    _cell_worker, args):
-                results[key] = result
-                if telemetry is not None and snapshot is not None:
-                    telemetry[key] = snapshot
-                if verbose:
-                    print(f"  done {key}")
-    return SweepResults(config=config, cells=results, telemetry=telemetry)
+    fingerprints: Dict[CellKey, str] = {}
+    if cache is not None:
+        fingerprints = {key: config.cell_fingerprint(*key) for key in cells}
+        results.update(cache.load_many(fingerprints))
+        if verbose and results:
+            print(f"  resumed {len(results)}/{total} cell(s) "
+                  f"from {cache.root}")
+
+    pending = [key for key in cells if key not in results]
+    done = len(results)
+
+    def finish(key: CellKey, result: RunResult,
+               snapshot: Optional[TelemetrySnapshot]) -> None:
+        nonlocal done
+        results[key] = result
+        if telemetry is not None and snapshot is not None:
+            telemetry[key] = snapshot
+        if cache is not None:
+            cache.store(fingerprints[key], key, result)
+        done += 1
+        if verbose:
+            print(f"  [{done}/{total}] done {key}")
+
+    def fail(key: CellKey, failure: CellFailure) -> None:
+        nonlocal done
+        failures[key] = failure
+        done += 1
+        if verbose:
+            print(f"  [{done}/{total}] FAILED {key}: "
+                  f"{failure.error_type}: {failure.message}")
+
+    def args_for(key: CellKey):
+        return (key[0], key[1], key[2], config.phases, config.scale,
+                None, collect_telemetry)
+
+    if pending:
+        jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
+        jobs = min(jobs, len(pending))
+        if jobs > 1:
+            pending = _run_cells_parallel(pending, args_for, jobs,
+                                          config.cell_timeout, finish, fail)
+        for key in pending:
+            _run_cell_with_retry(key, args_for(key), finish, fail)
+
+    return SweepResults(config=config, cells=results, telemetry=telemetry,
+                        failures=failures)
+
+
+def _write_monolithic(cache_path: str, results: SweepResults) -> None:
+    cache_dir = os.path.dirname(cache_path)
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+    with open(cache_path, "w") as handle:
+        handle.write(results.to_json())
+
+
+def _migrate_legacy_cells(legacy: SweepResults, cache: CellCache) -> None:
+    """Seed the per-cell cache from a monolithic (legacy) sweep file.
+
+    Entries are fingerprinted under the *legacy* config's phases and
+    scale, so they are reused exactly when a new sweep would reproduce
+    them -- including sweeps over a different benchmark/family subset.
+    """
+    for key, result in legacy.cells.items():
+        fingerprint = legacy.config.cell_fingerprint(*key)
+        if not cache.has(fingerprint):
+            cache.store(fingerprint, key, result)
 
 
 def load_or_run_sweep(cache_path: str,
                       config: SweepConfig = SweepConfig(),
-                      verbose: bool = False) -> SweepResults:
-    """Load a cached sweep when its config matches, else run and cache."""
+                      verbose: bool = False,
+                      use_cache: bool = True,
+                      resume: bool = True) -> SweepResults:
+    """Load, resume, or run a sweep, keeping ``cache_path`` up to date.
+
+    ``cache_path`` is the monolithic JSON snapshot (kept for the figure
+    pipeline and as the fast path when its config matches exactly); the
+    per-cell resumable cache lives beside it in
+    ``cell_cache_root(cache_path)``.  A legacy monolithic file whose
+    config does *not* match is migrated cell-by-cell into the per-cell
+    cache, so its overlapping cells are still reused.  ``use_cache=False``
+    ignores and overwrites every cache; ``resume=False`` keeps the
+    monolithic fast path but skips the per-cell layer.
+    """
+    if not use_cache:
+        results = run_sweep(config, verbose=verbose)
+        _write_monolithic(cache_path, results)
+        return results
+
+    cache = CellCache(cell_cache_root(cache_path)) if resume else None
+    legacy: Optional[SweepResults] = None
     if os.path.exists(cache_path):
         try:
             with open(cache_path) as handle:
-                cached = SweepResults.from_json(handle.read())
-            if cached.config == config:
-                return cached
+                legacy = SweepResults.from_json(handle.read())
         except (ValueError, KeyError, TypeError) as exc:
             # Corrupt or structurally stale cache: say so before quietly
             # regenerating, so surprising re-runs are explicable.
@@ -224,10 +447,12 @@ def load_or_run_sweep(cache_path: str,
                 f"sweep cache {cache_path!r} is unreadable "
                 f"({type(exc).__name__}: {exc}); regenerating it",
                 RuntimeWarning, stacklevel=2)
-    results = run_sweep(config, verbose=verbose)
-    cache_dir = os.path.dirname(cache_path)
-    if cache_dir:
-        os.makedirs(cache_dir, exist_ok=True)
-    with open(cache_path, "w") as handle:
-        handle.write(results.to_json())
+    if legacy is not None:
+        if cache is not None:
+            _migrate_legacy_cells(legacy, cache)
+        if legacy.config == config and not legacy.failures:
+            return legacy
+
+    results = run_sweep(config, verbose=verbose, cache=cache)
+    _write_monolithic(cache_path, results)
     return results

@@ -133,6 +133,19 @@ class Machine:
         finally:
             self._in_tick = False
 
+    # -- deoptimization ----------------------------------------------------
+
+    def on_code_invalidated(self, method_id: str) -> None:
+        """Re-arm OSR for a method whose optimized code was discarded.
+
+        The OSR notification is once-per-method while code is absent; a
+        method deoptimized back to baseline must be able to request OSR
+        again, or its hot loops spin at baseline tier until the (much
+        slower) hot-method sampling path notices.  Back-edge counts are
+        deliberately kept: the loop already proved itself hot.
+        """
+        self._osr_notified.discard(method_id)
+
     # -- entry point -------------------------------------------------------
 
     def run(self, args: Sequence[Value] = ()) -> Value:

@@ -21,7 +21,9 @@ from repro.telemetry.chrome_trace import (to_chrome_trace, trace_events,
                                           write_chrome_trace)
 from repro.telemetry.summary import (component_totals, fractions, reconcile,
                                      span_stats, summarize)
-from repro.telemetry.aggregate import (merge_component_totals, merge_counters,
+from repro.telemetry.aggregate import (cell_label, label_cell_snapshots,
+                                       merge_cell_telemetry,
+                                       merge_component_totals, merge_counters,
                                        merge_histograms, merged_chrome_trace,
                                        render_aggregate,
                                        write_merged_chrome_trace)
@@ -29,7 +31,8 @@ from repro.telemetry.aggregate import (merge_component_totals, merge_counters,
 __all__ = [
     "NULL_RECORDER", "HistogramData", "InstantRecord", "NullRecorder",
     "SpanRecord", "TelemetryRecorder", "TelemetrySnapshot",
-    "component_totals", "fractions", "merge_component_totals",
+    "cell_label", "component_totals", "fractions", "label_cell_snapshots",
+    "merge_cell_telemetry", "merge_component_totals",
     "merge_counters", "merge_histograms", "merged_chrome_trace",
     "reconcile", "render_aggregate", "span_stats", "summarize",
     "to_chrome_trace", "trace_events", "write_chrome_trace",

@@ -12,13 +12,54 @@ inspectable timeline).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.aos.cost_accounting import ALL_COMPONENTS
 from repro.metrics.report import format_table
 from repro.telemetry.chrome_trace import trace_events
 from repro.telemetry.recorder import HistogramData, TelemetrySnapshot
 from repro.telemetry.summary import component_totals
+
+
+#: One sweep cell's identity, as the experiment harness keys it.
+CellKey = Tuple[str, str, int]  # (benchmark, family, depth)
+
+
+def cell_label(key: CellKey) -> str:
+    """Human-readable label for one sweep cell's telemetry."""
+    benchmark, family, depth = key
+    return f"{benchmark}/{family}/max{depth}"
+
+
+def label_cell_snapshots(
+        telemetry: Mapping[CellKey, TelemetrySnapshot]) \
+        -> Dict[str, TelemetrySnapshot]:
+    """Re-key a sweep's per-cell snapshot map by readable labels.
+
+    ``SweepResults.telemetry`` is keyed by cell tuples; every merge
+    helper in this module (and the multi-process Chrome trace) wants
+    string labels.  This is the adapter between the two.
+    """
+    return {cell_label(key): snapshot
+            for key, snapshot in telemetry.items()}
+
+
+def merge_cell_telemetry(
+        *maps: Optional[Mapping[CellKey, TelemetrySnapshot]]) \
+        -> Dict[CellKey, TelemetrySnapshot]:
+    """Union per-cell snapshot maps from resumed sweep runs.
+
+    A resumed sweep only collects telemetry for the cells it actually
+    ran -- cells served from the per-cell cache carry no snapshot.  This
+    folds the partial maps of successive runs into one view; later maps
+    win where cells overlap (they re-ran the cell), and ``None`` maps
+    (sweeps run without ``collect_telemetry``) are skipped.
+    """
+    merged: Dict[CellKey, TelemetrySnapshot] = {}
+    for mapping in maps:
+        if mapping:
+            merged.update(mapping)
+    return merged
 
 
 def merge_component_totals(

@@ -4,18 +4,24 @@ The sweeps here run at tiny scale -- the point is plumbing correctness
 (keys, baselines, serialization, rendering), not paper-shaped numbers.
 """
 
+import json
+import os
+
 import pytest
 
+from repro.experiments import runner
+from repro.experiments.cell_cache import CellCache, cell_cache_root
 from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
                                       POLICY_FAMILIES, SweepConfig)
 from repro.experiments.figures import (FIGURE6_COMPONENTS, figure2, figure4,
                                        figure5, figure6, headline, table1,
                                        termination_stats)
 from repro.aos.listeners import TerminationStatsProbe
-from repro.experiments.runner import (SweepResults, _cell_worker,
-                                      load_or_run_sweep, run_cell,
-                                      run_single, run_sweep)
+from repro.experiments.runner import (CellFailure, SweepResults,
+                                      _cell_worker, load_or_run_sweep,
+                                      run_cell, run_single, run_sweep)
 from repro.jvm.costs import DEFAULT_COSTS
+from repro.jvm.errors import ExecutionError
 from repro.workloads.spec import BENCHMARK_ORDER
 
 TINY = SweepConfig(benchmarks=("jess", "db"), families=("fixed", "hybrid1"),
@@ -121,6 +127,212 @@ class TestSerialization:
         assert SweepResults.from_json(path.read_text()).config == small
 
 
+SMALL = SweepConfig(benchmarks=("jess",), families=("fixed",),
+                    depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+
+
+def _counting_worker(executed):
+    """A _cell_worker wrapper recording which cells actually run."""
+    real = _cell_worker
+
+    def worker(args):
+        executed.append(args[:3])
+        return real(args)
+    return worker
+
+
+class TestResumableSweep:
+    def test_resume_reruns_exactly_the_missing_cells(self, tmp_path,
+                                                     monkeypatch):
+        executed = []
+        monkeypatch.setattr(runner, "_cell_worker",
+                            _counting_worker(executed))
+        cache = CellCache(str(tmp_path / "cells"))
+        run_sweep(SMALL, cache=cache)
+        assert set(executed) == set(SMALL.configurations())
+
+        # A wider sweep sharing phases/scale reuses the overlapping
+        # cells and dispatches only the new ones.
+        executed.clear()
+        full = SweepConfig(benchmarks=("jess", "db"), families=("fixed",),
+                           depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        results = run_sweep(full, cache=cache)
+        assert set(executed) == \
+            set(full.configurations()) - set(SMALL.configurations())
+        assert set(results.cells) == set(full.configurations())
+
+        # A fully cached rerun dispatches nothing at all.
+        executed.clear()
+        again = run_sweep(full, cache=cache)
+        assert executed == []
+        assert again.cells == results.cells
+
+    def test_interrupted_sweep_resumes_where_it_died(self, tmp_path,
+                                                     monkeypatch):
+        path = str(tmp_path / "sweep.json")
+        config = SweepConfig(benchmarks=("jess", "db"), families=("fixed",),
+                             depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        real = _cell_worker
+        completed_before_kill = 2
+        state = {"left": completed_before_kill}
+
+        def dying(args):
+            if state["left"] == 0:
+                raise KeyboardInterrupt
+            state["left"] -= 1
+            return real(args)
+
+        monkeypatch.setattr(runner, "_cell_worker", dying)
+        with pytest.raises(KeyboardInterrupt):
+            load_or_run_sweep(path, config)
+        assert not os.path.exists(path)  # monolithic file never written
+
+        executed = []
+        monkeypatch.setattr(runner, "_cell_worker",
+                            _counting_worker(executed))
+        results = load_or_run_sweep(path, config)
+        assert len(executed) == \
+            len(config.configurations()) - completed_before_kill
+        assert set(results.cells) == set(config.configurations())
+        assert os.path.exists(path)
+
+    def test_cached_and_fresh_cells_bit_identical(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cells"))
+        fresh = run_sweep(SMALL, cache=cache)
+        cached = run_sweep(SMALL, cache=cache)
+        assert cached.cells == fresh.cells
+        assert cached.to_json() == fresh.to_json()
+
+    def test_corrupt_cell_entry_costs_exactly_one_rerun(self, tmp_path,
+                                                        monkeypatch):
+        cache = CellCache(str(tmp_path / "cells"))
+        run_sweep(SMALL, cache=cache)
+        victim = ("jess", "fixed", 2)
+        entry = cache.path_for(SMALL.cell_fingerprint(*victim))
+        with open(entry, "w") as handle:
+            handle.write("{half an entr")
+
+        executed = []
+        monkeypatch.setattr(runner, "_cell_worker",
+                            _counting_worker(executed))
+        with pytest.warns(RuntimeWarning, match="rerunning that cell"):
+            results = run_sweep(SMALL, cache=cache)
+        assert executed == [victim]
+        assert set(results.cells) == set(SMALL.configurations())
+
+    def test_worker_error_becomes_structured_failure(self, tmp_path,
+                                                     monkeypatch):
+        config = SweepConfig(benchmarks=("jess", "db"), families=("fixed",),
+                             depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        bad = ("db", "fixed", 2)
+        real = _cell_worker
+
+        def flaky(args):
+            if args[:3] == bad:
+                raise ExecutionError("simulated worker crash")
+            return real(args)
+
+        monkeypatch.setattr(runner, "_cell_worker", flaky)
+        cache = CellCache(str(tmp_path / "cells"))
+        results = run_sweep(config, cache=cache)
+
+        # The failing cell is recorded, not fatal; every other cell
+        # completed and was persisted.
+        assert bad not in results.cells
+        failure = results.failures[bad]
+        assert failure.error_type == "ExecutionError"
+        assert "simulated worker crash" in failure.message
+        assert failure.attempts == 2  # first try plus one retry
+        assert set(results.cells) == set(config.configurations()) - {bad}
+
+        # The next sweep retries only the failed cell (failures are
+        # never cached) and succeeds.
+        executed = []
+        monkeypatch.setattr(runner, "_cell_worker",
+                            _counting_worker(executed))
+        retried = run_sweep(config, cache=cache)
+        assert executed == [bad]
+        assert not retried.failures
+        assert set(retried.cells) == set(config.configurations())
+
+    def test_transient_error_recovered_by_retry(self, monkeypatch):
+        real = _cell_worker
+        state = {"failed_once": False}
+
+        def flaky_once(args):
+            if args[:3] == ("jess", "fixed", 2) and not state["failed_once"]:
+                state["failed_once"] = True
+                raise RuntimeError("transient")
+            return real(args)
+
+        monkeypatch.setattr(runner, "_cell_worker", flaky_once)
+        results = run_sweep(SMALL)
+        assert not results.failures
+        assert set(results.cells) == set(SMALL.configurations())
+
+    def test_pool_unavailable_degrades_to_in_process(self, monkeypatch):
+        import concurrent.futures
+
+        def unavailable(*args, **kwargs):
+            raise OSError("no sem_open on this platform")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            unavailable)
+        config = SweepConfig(benchmarks=("jess",), families=("fixed",),
+                             depths=(2,), phases=(0.0,), scale=0.05, jobs=2)
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            results = run_sweep(config)
+        assert set(results.cells) == set(config.configurations())
+        assert not results.failures
+
+    def test_legacy_monolithic_cache_migrates_to_cells(self, tiny_sweep,
+                                                       tmp_path,
+                                                       monkeypatch):
+        path = tmp_path / "sweep.json"
+        path.write_text(tiny_sweep.to_json())
+        executed = []
+        monkeypatch.setattr(runner, "_cell_worker",
+                            _counting_worker(executed))
+        # A different (subset) config: the monolithic fast path cannot
+        # serve it, but every requested cell exists in the legacy file.
+        sub = SweepConfig(benchmarks=("db",), families=("fixed",),
+                          depths=(2,), phases=(0.0,), scale=0.05, jobs=1)
+        results = load_or_run_sweep(str(path), sub)
+        assert executed == []
+        assert set(results.cells) == set(sub.configurations())
+        for key in results.cells:
+            assert results.cells[key] == tiny_sweep.cells[key]
+        assert os.path.isdir(cell_cache_root(str(path)))
+
+
+class TestFailureSerialization:
+    def test_round_trip_with_nondefault_config_and_failures(self):
+        config = SweepConfig(benchmarks=("jess",), families=("class",),
+                             depths=(3,), phases=(0.1, 0.9), scale=0.25,
+                             jobs=3, cell_timeout=12.5)
+        result = run_single("jess", "cins", 1, scale=0.05)
+        failure = CellFailure(benchmark="jess", family="class", depth=3,
+                              error_type="ExecutionError",
+                              message="stack overflow", attempts=2)
+        results = SweepResults(config=config,
+                               cells={("jess", "cins", 1): result},
+                               failures={failure.key: failure})
+        loaded = SweepResults.from_json(results.to_json())
+        assert loaded.config == config
+        assert loaded.cells == results.cells
+        assert loaded.failures == results.failures
+
+    def test_from_json_accepts_legacy_payload(self, tiny_sweep):
+        # Payloads written before per-cell caching carry neither the
+        # failures list nor the cell_timeout field.
+        payload = json.loads(tiny_sweep.to_json())
+        payload["config"].pop("cell_timeout")
+        assert "failures" not in payload
+        loaded = SweepResults.from_json(json.dumps(payload))
+        assert loaded.config == tiny_sweep.config
+        assert loaded.failures == {}
+
+
 class TestProbeThreading:
     def test_run_cell_threads_probe(self):
         probe = TerminationStatsProbe(DEFAULT_COSTS)
@@ -128,15 +340,28 @@ class TestProbeThreading:
         assert probe.samples > 0
         assert sum(probe.first_parameterless.values()) == probe.samples
 
-    def test_run_cell_probe_sees_every_phase(self):
-        # The probe accumulates across the best-of-phases runs: two phases
-        # must record (strictly) more samples than one.
-        one = TerminationStatsProbe(DEFAULT_COSTS)
-        run_cell("jess", "fixed", 2, phases=(0.0,), scale=0.05, probe=one)
-        two = TerminationStatsProbe(DEFAULT_COSTS)
-        run_cell("jess", "fixed", 2, phases=(0.0, 0.5), scale=0.05,
-                 probe=two)
-        assert two.samples > one.samples
+    def test_probe_describes_best_run_only(self):
+        # Regression: run_cell used to thread one shared probe through
+        # every phase, so its statistics aggregated all N attempts.  The
+        # probe must describe the *reported* (best) run: its sample
+        # count matches that run's traces_recorded (probe and trace
+        # listener sample at the same ticks under the same gate).
+        probe = TerminationStatsProbe(DEFAULT_COSTS)
+        best = run_cell("jess", "fixed", 2, phases=(0.0, 0.5), scale=0.05,
+                        probe=probe)
+        assert probe.samples == best.traces_recorded
+
+    def test_probe_aggregates_across_cells(self):
+        # A probe shared across cells still accumulates -- one best run
+        # per cell.
+        probe = TerminationStatsProbe(DEFAULT_COSTS)
+        first = run_cell("jess", "fixed", 2, phases=(0.0, 0.5), scale=0.05,
+                         probe=probe)
+        second = run_cell("db", "fixed", 2, phases=(0.0, 0.5), scale=0.05,
+                          probe=probe)
+        assert probe.samples == first.traces_recorded + \
+            second.traces_recorded
+        assert sum(probe.first_parameterless.values()) == probe.samples
 
     def test_cell_worker_threads_probe(self):
         probe = TerminationStatsProbe(DEFAULT_COSTS)

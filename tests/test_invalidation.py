@@ -117,6 +117,87 @@ class TestPreExistenceInOracle:
         assert decision.reason == "no_profile"
 
 
+def two_selector_program():
+    """A hierarchy with two independently-breakable selectors."""
+    b = ProgramBuilder("twosel")
+    b.cls("Shape")
+    b.cls("Circle", superclass="Shape")
+    b.cls("Square", superclass="Shape")
+    b.cls("Fancy", superclass="Shape")
+    b.cls("App")
+    b.method("Shape", "area", [Work(6), Return(Const(0))], params=1)
+    b.method("Circle", "area", [Work(6), Return(Const(1))], params=1)
+    b.method("Square", "area", [Work(6), Return(Const(2))], params=1)
+    b.method("Shape", "name", [Work(4), Return(Const(10))], params=1)
+    b.method("Fancy", "name", [Work(4), Return(Const(11))], params=1)
+    b.static_method("App", "use", [
+        VirtualCall(0, "area", Arg(0), dst=0),
+        VirtualCall(1, "name", Arg(0), dst=1),
+        Return(Local(0)),
+    ], params=1, locals_=2)
+    b.static_method("App", "main", [Return(Const(0))])
+    b.entry("App.main")
+    return b.build()
+
+
+class TestDependenciesSurviveFailedInvalidation:
+    """Regression: a class load whose invalidation found no installed
+    code used to clear the root's dependency records anyway, so a later
+    class load could never invalidate that method."""
+
+    ROOT = "App.use"
+
+    def _runtime(self):
+        runtime = AdaptiveRuntime(two_selector_program(),
+                                  make_policy("cins", 1))
+        runtime.hierarchy.mark_loaded("Circle")
+        # The optimizing compiler devirtualized both selectors against
+        # the loaded world and recorded the dependencies...
+        runtime.database.record_cha_dependency(self.ROOT, "area",
+                                               "Circle.area")
+        runtime.database.record_cha_dependency(self.ROOT, "name",
+                                               "Shape.name")
+        return runtime
+
+    def _install_opt_code(self, runtime):
+        from repro.compiler.compiled_method import CompiledMethod, InlineNode
+        root = runtime.program.method(self.ROOT)
+        runtime.code_cache.install(CompiledMethod(
+            InlineNode(root), inlined_bytecodes=root.bytecodes,
+            code_bytes=64, compile_cycles=100, version=1))
+
+    def test_two_class_loads_both_get_their_invalidation(self):
+        runtime = self._runtime()
+        # ...but the compiled code is not installed yet (the compile is
+        # still in flight) when Square breaks the "area" devirtualization.
+        runtime.hierarchy.mark_loaded("Square")
+        runtime._on_class_load("Square")
+        assert runtime.database.invalidation_count == 0
+        # The failed invalidation must not have dropped the records: the
+        # "name" dependency is still being tracked.
+        deps = runtime.database.cha_dependencies().get(self.ROOT, {})
+        assert deps.get("name") == "Shape.name"
+
+        # The compile lands; then a second class load breaks "name".
+        self._install_opt_code(runtime)
+        runtime.hierarchy.mark_loaded("Fancy")
+        runtime._on_class_load("Fancy")
+        assert runtime.database.invalidation_count == 1
+        assert runtime.code_cache.opt_version(self.ROOT) is None
+        assert self.ROOT not in runtime.database.cha_dependencies()
+
+    def test_successful_invalidation_rearms_osr(self):
+        runtime = self._runtime()
+        self._install_opt_code(runtime)
+        # The method had requested OSR while at baseline earlier.
+        runtime.machine._osr_notified.add(self.ROOT)
+        runtime.hierarchy.mark_loaded("Square")
+        runtime._on_class_load("Square")
+        assert runtime.database.invalidation_count == 1
+        # Deoptimized back to baseline: it may request OSR again.
+        assert self.ROOT not in runtime.machine._osr_notified
+
+
 class TestEndToEndInvalidation:
     @pytest.fixture(scope="class")
     def run(self):

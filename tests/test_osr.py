@@ -3,7 +3,11 @@
 import pytest
 
 from repro.aos.runtime import AdaptiveRuntime
+from repro.compiler.code_cache import CodeCache
+from repro.compiler.compiled_method import CompiledMethod, InlineNode
 from repro.jvm.costs import CostModel, DEFAULT_COSTS
+from repro.jvm.hierarchy import ClassHierarchy
+from repro.jvm.interpreter import Machine
 from repro.jvm.program import (Arg, Const, Local, Loop, Return, StaticCall,
                                Work)
 from repro.policies import make_policy
@@ -69,6 +73,37 @@ class TestOSR:
         off = AdaptiveRuntime(loop_heavy_program(),
                               make_policy("cins", 1), costs_off).run()
         assert on.return_value == off.return_value
+
+    def test_invalidate_then_reheat_requests_osr_again(self):
+        # Regression: the once-per-method OSR notification was never
+        # cleared when a method's optimized code got invalidated, so a
+        # deoptimized loop could spin at baseline forever.
+        program = loop_heavy_program(2000)
+        costs = DEFAULT_COSTS.replace(osr_backedge_threshold=500)
+        machine = Machine(program, ClassHierarchy(program),
+                          CodeCache(costs), costs)
+        requests = []
+        machine.osr_handler = requests.append
+
+        machine.run()
+        assert requests == ["Main.main"]
+        # The notification is once-per-method: while the compile is
+        # outstanding, further runs must not re-request.
+        machine.run()
+        assert requests == ["Main.main"]
+
+        # The compile lands; a class load then breaks it.
+        root = program.method("Main.main")
+        machine.code_cache.install(CompiledMethod(
+            InlineNode(root), inlined_bytecodes=root.bytecodes,
+            code_bytes=64, compile_cycles=100, version=1))
+        assert machine.code_cache.invalidate("Main.main")
+        machine.on_code_invalidated("Main.main")
+
+        # Back at baseline and still hot (back-edge counts were kept):
+        # the loop may ask for OSR again.
+        machine.run()
+        assert requests == ["Main.main", "Main.main"]
 
     def test_counts_accumulate_across_loop_executions(self):
         # A method whose loop runs multiple times accumulates back edges

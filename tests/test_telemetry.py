@@ -21,11 +21,12 @@ from repro.experiments.config import SweepConfig
 from repro.experiments.runner import run_single, run_sweep
 from repro.policies import make_policy
 from repro.telemetry import (NULL_RECORDER, HistogramData, NullRecorder,
-                             TelemetryRecorder, component_totals, fractions,
-                             merge_component_totals, merge_counters,
-                             merge_histograms, merged_chrome_trace,
-                             reconcile, render_aggregate, summarize,
-                             to_chrome_trace, write_chrome_trace)
+                             TelemetryRecorder, cell_label, component_totals,
+                             fractions, label_cell_snapshots,
+                             merge_cell_telemetry, merge_component_totals,
+                             merge_counters, merge_histograms,
+                             merged_chrome_trace, reconcile, render_aggregate,
+                             summarize, to_chrome_trace, write_chrome_trace)
 from repro.workloads.spec import build_benchmark
 
 SCALE = 0.05
@@ -320,3 +321,36 @@ class TestSweepTelemetry:
         loaded = SweepResults.from_json(results.to_json())
         assert loaded.telemetry is None
         assert set(loaded.cells) == set(results.cells)
+
+
+class TestCellTelemetryMerge:
+    A = ("jess", "fixed", 2)
+    B = ("db", "class", 4)
+
+    def test_cell_label(self):
+        assert cell_label(self.A) == "jess/fixed/max2"
+
+    def test_label_cell_snapshots(self):
+        snap = object()
+        assert label_cell_snapshots({self.A: snap}) == \
+            {"jess/fixed/max2": snap}
+
+    def test_merge_unions_partial_runs(self):
+        first, second = object(), object()
+        merged = merge_cell_telemetry({self.A: first}, {self.B: second})
+        assert merged == {self.A: first, self.B: second}
+
+    def test_merge_later_run_wins_and_none_skipped(self):
+        stale, fresh = object(), object()
+        merged = merge_cell_telemetry({self.A: stale}, None,
+                                      {self.A: fresh})
+        assert merged == {self.A: fresh}
+
+    def test_merged_map_feeds_existing_aggregators(self):
+        # The labelled union of two partial sweeps reconciles with the
+        # run-level aggregation helpers.
+        _rt, _res, snap_a = traced_run("jess", "fixed", 2)
+        _rt, _res, snap_b = traced_run("db", "fixed", 2)
+        merged = merge_cell_telemetry({self.A: snap_a}, {("db", "fixed", 2): snap_b})
+        totals = merge_component_totals(label_cell_snapshots(merged))
+        assert totals[APP] > 0
