@@ -74,6 +74,11 @@ from repro.aos.runtime import AdaptiveRuntime, RunResult
 from repro.telemetry import (NullRecorder, TelemetryRecorder,
                              TelemetrySnapshot, to_chrome_trace)
 
+# -- decision provenance -----------------------------------------------------------------
+from repro.provenance import (DecisionRecord, EventKind, ProvenanceRecorder,
+                              ReasonCode, diff_logs, explain_method,
+                              read_decision_log, render_diff)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -82,7 +87,8 @@ __all__ = [
     "ClassHierarchy", "ClassMethods", "CodeCache", "CompilationError",
     "CompilationEvent", "CompiledMethod", "ConfigError", "Const", "Context",
     "ContextInsensitive", "ContextSensitivityPolicy", "CostAccounting",
-    "CostModel", "DEFAULT_COSTS", "Decision", "DynamicCallGraph",
+    "CostModel", "DEFAULT_COSTS", "Decision", "DecisionRecord",
+    "DynamicCallGraph", "EventKind",
     "ExecutionError", "Expr", "FixedLevel", "Frame", "GuardOption", "If",
     "ImprecisionDriven", "InlineDecision", "InlineNode", "InlineOracle",
     "InterfaceCall",
@@ -91,13 +97,17 @@ __all__ = [
     "New", "NewPool", "OptCompiler", "POLICY_LABELS",
     "ParameterlessClassMethods", "ParameterlessLargeMethods",
     "NullRecorder",
-    "ParameterlessMethods", "Pick", "Program", "ProgramError", "ReproError",
+    "ParameterlessMethods", "Pick", "Program", "ProgramError",
+    "ProvenanceRecorder", "ReasonCode", "ReproError",
     "Return", "RunResult", "SizeClass", "StaticCall", "Stmt", "Sub",
     "TelemetryRecorder", "TelemetrySnapshot",
     "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
     "VirtualCall", "Work", "applicable_rules", "body_bytecodes",
-    "candidate_targets", "classify", "contexts_compatible", "dynamic_class",
-    "estimate_inlined_bytecodes", "format_trace", "is_large",
+    "candidate_targets", "classify", "contexts_compatible", "diff_logs",
+    "dynamic_class",
+    "estimate_inlined_bytecodes", "explain_method", "format_trace",
+    "is_large",
     "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
-    "physical_method", "to_chrome_trace",
+    "physical_method", "read_decision_log", "render_diff",
+    "to_chrome_trace",
 ]

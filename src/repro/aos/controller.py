@@ -34,6 +34,8 @@ from repro.compiler.oracle import InlineOracle
 from repro.jvm.costs import CostModel
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.program import Program
+from repro.provenance.reasons import EventKind
+from repro.provenance.recorder import NULL_PROVENANCE
 from repro.telemetry.recorder import NULL_RECORDER
 
 #: Inlining typically grows the compiled size; the controller's cost model
@@ -57,7 +59,7 @@ class Controller:
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  state: AOSState, code_cache: CodeCache,
                  database: AOSDatabase, costs: CostModel,
-                 telemetry=NULL_RECORDER):
+                 telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE):
         self._program = program
         self._hierarchy = hierarchy
         self._state = state
@@ -65,6 +67,7 @@ class Controller:
         self._database = database
         self._costs = costs
         self._telemetry = telemetry
+        self._provenance = provenance
 
         self._hot_events: Dict[str, float] = {}
         self._missing_edge_events: Set[str] = set()
@@ -122,6 +125,13 @@ class Controller:
             if self._approve_first_compile(method_id, samples):
                 self._enqueue_plan(method_id, "hot", machine.clock)
                 created += 1
+            elif self._provenance.enabled:
+                immature = (self._state.dcg.total_weight
+                            < costs.first_compile_min_weight)
+                self._provenance.event(
+                    EventKind.PLAN_DEFERRED, method_id, trigger="hot",
+                    why="immature_profile" if immature else "unprofitable",
+                    samples=samples)
 
         for method_id in osr:
             if self._code_cache.opt_version(method_id) is not None:
@@ -137,12 +147,19 @@ class Controller:
                 created += 1
                 continue
             if compiled.version >= MAX_OPT_VERSIONS:
+                self._provenance.event(
+                    EventKind.PLAN_DEFERRED, method_id,
+                    trigger="missing_edge", why="max_versions",
+                    version=compiled.version)
                 continue
             if compiled.rules_fingerprint == self._state.rules_fingerprint:
-                continue
+                continue  # installed code already reflects the rules
             # Rate-limit profile-driven recompilation of any one method.
             last = self._last_plan_clock.get(method_id, float("-inf"))
             if machine.clock - last < costs.recompile_cooldown:
+                self._provenance.event(
+                    EventKind.PLAN_DEFERRED, method_id,
+                    trigger="missing_edge", why="cooldown")
                 continue
             self._enqueue_plan(method_id, "missing_edge", machine.clock)
             created += 1
@@ -178,13 +195,16 @@ class Controller:
             self._program, self._hierarchy, self._costs, state.rules,
             on_refusal=database.record_refusal, dcg=state.dcg,
             on_cha_dependency=database.record_cha_dependency,
-            telemetry=self._telemetry)
+            telemetry=self._telemetry, provenance=self._provenance)
         plan = CompilationPlan(
             method_id=method_id,
             oracle=oracle,
             version=self._code_cache.next_version(method_id),
             rules_fingerprint=state.rules_fingerprint,
             reason=reason)
+        self._provenance.event(
+            EventKind.PLAN, method_id, reason=reason, version=plan.version,
+            rules=len(state.rules), rules_fingerprint=plan.rules_fingerprint)
         self.compilation_queue.append(plan)
 
 
@@ -193,17 +213,20 @@ class CompilationThread:
 
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  code_cache: CodeCache, database: AOSDatabase,
-                 costs: CostModel, telemetry=NULL_RECORDER):
+                 costs: CostModel, telemetry=NULL_RECORDER,
+                 provenance=NULL_PROVENANCE):
         self._compiler = OptCompiler(program, hierarchy, costs,
                                      telemetry=telemetry)
         self._program = program
         self._code_cache = code_cache
         self._database = database
         self._telemetry = telemetry
+        self._provenance = provenance
         self.compilations_done = 0
 
     def run(self, machine, queue: Deque[CompilationPlan]) -> int:
         telemetry = self._telemetry
+        provenance = self._provenance
         done = 0
         while queue:
             plan = queue.popleft()
@@ -213,9 +236,16 @@ class CompilationThread:
             span_id = telemetry.begin_span(
                 COMPILATION, "opt_compile", method=plan.method_id,
                 version=plan.version, reason=plan.reason)
+            # Bracket the compile so the oracle's decision records carry
+            # this compilation's version.
+            provenance.begin_compilation(plan.method_id, plan.version,
+                                         plan.reason, plan.rules_fingerprint)
             compiled = self._compiler.compile(
                 method, plan.oracle, plan.version, plan.rules_fingerprint)
             machine.charge(COMPILATION, compiled.compile_cycles)
+            provenance.end_compilation(compiled.inlined_bytecodes,
+                                       compiled.code_bytes,
+                                       compiled.compile_cycles)
             self._code_cache.install(compiled)
             telemetry.end_span(
                 span_id, self_cycles=compiled.compile_cycles,

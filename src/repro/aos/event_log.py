@@ -7,6 +7,12 @@ provides the same facility for the simulation: attach an
 :class:`EventLog` to an :class:`~repro.aos.runtime.AdaptiveRuntime` and
 every noteworthy event is recorded with its cycle timestamp.
 
+The event-kind vocabulary is shared with the decision-provenance layer:
+the module-level constants below are the values of
+:class:`repro.provenance.reasons.EventKind`, so the two logs cannot
+drift apart.  ``detail`` payloads may be plain strings (legacy) or
+structured dicts; rendering flattens dicts to ``key=value`` text.
+
 The log is pure instrumentation: it charges no cycles and changes no
 decisions, so logged and unlogged runs are cycle-identical.
 """
@@ -14,19 +20,34 @@ decisions, so logged and unlogged runs are cycle-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.metrics.report import format_table
+from repro.provenance.reasons import EventKind
 
-#: Event kinds, in the vocabulary of the paper's Figure 3.
-COMPILE = "compile"
-RULE_ADDED = "rule_added"
-RULE_RETIRED = "rule_retired"
-INVALIDATE = "invalidate"
-OSR = "osr"
-DECAY = "decay"
+#: Event kinds, in the vocabulary of the paper's Figure 3 -- derived from
+#: the shared :class:`EventKind` enum (single source of truth with the
+#: provenance recorder's event records).
+COMPILE = EventKind.COMPILE.value
+RULE_ADDED = EventKind.RULE_ADDED.value
+RULE_RETIRED = EventKind.RULE_RETIRED.value
+INVALIDATE = EventKind.INVALIDATE.value
+OSR = EventKind.OSR.value
+DECAY = EventKind.DECAY.value
 
-EVENT_KINDS = (COMPILE, RULE_ADDED, RULE_RETIRED, INVALIDATE, OSR, DECAY)
+#: Every kind this log accepts (the full shared vocabulary, so events
+#: forwarded from the provenance layer validate too).
+EVENT_KINDS = tuple(kind.value for kind in EventKind)
+
+#: A detail payload: legacy free-form text or a structured mapping.
+Detail = Union[str, Mapping[str, object]]
+
+
+def format_detail(detail: Detail) -> str:
+    """Flatten a detail payload to display text (dicts -> ``k=v`` pairs)."""
+    if isinstance(detail, str):
+        return detail
+    return " ".join(f"{key}={value}" for key, value in detail.items())
 
 
 @dataclass(frozen=True)
@@ -36,7 +57,12 @@ class Event:
     clock: float
     kind: str
     subject: str        # method id, trace description, ...
-    detail: str = ""    # free-form context (version, reason, share, ...)
+    detail: Detail = ""  # free-form text or a structured dict
+
+    @property
+    def detail_text(self) -> str:
+        """The detail payload as display text, whatever its shape."""
+        return format_detail(self.detail)
 
 
 class EventLog:
@@ -48,9 +74,11 @@ class EventLog:
     # -- recording ---------------------------------------------------------------
 
     def record(self, clock: float, kind: str, subject: str,
-               detail: str = "") -> None:
+               detail: Detail = "") -> None:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
+        if not isinstance(detail, str):
+            detail = dict(detail)
         self.events.append(Event(clock, kind, subject, detail))
 
     # -- queries -----------------------------------------------------------------
@@ -78,7 +106,7 @@ class EventLog:
     def render_timeline(self, limit: Optional[int] = None) -> str:
         """A chronological table of events (optionally the first N)."""
         events = self.events if limit is None else self.events[:limit]
-        rows = [[f"{e.clock:,.0f}", e.kind, e.subject, e.detail]
+        rows = [[f"{e.clock:,.0f}", e.kind, e.subject, e.detail_text]
                 for e in events]
         return format_table(["cycle", "event", "subject", "detail"], rows,
                             title=f"AOS event timeline ({len(self.events)} "
@@ -113,8 +141,9 @@ class LoggingHooks:
         def log_compilation(event):
             original_log_compilation(event)
             log.record(event.clock, COMPILE, event.method_id,
-                       f"v{event.version} {event.reason} "
-                       f"{event.inlined_bytecodes}bc")
+                       {"version": f"v{event.version}",
+                        "reason": event.reason,
+                        "inlined_bc": event.inlined_bytecodes})
 
         database.log_compilation = log_compilation
 
@@ -122,14 +151,15 @@ class LoggingHooks:
 
         def log_invalidation(root_id, selector, clock):
             original_log_invalidation(root_id, selector, clock)
-            log.record(clock, INVALIDATE, root_id, f"selector={selector}")
+            log.record(clock, INVALIDATE, root_id, {"selector": selector})
 
         database.log_invalidation = log_invalidation
 
         original_osr = machine.osr_handler
 
         def osr_handler(method_id):
-            log.record(machine.clock, OSR, method_id, "backedge threshold")
+            log.record(machine.clock, OSR, method_id,
+                       {"trigger": "backedge threshold"})
             if original_osr is not None:
                 original_osr(method_id)
 
@@ -159,7 +189,7 @@ class LoggingHooks:
         def decay_run(machine_):
             original_decay_run(machine_)
             log.record(machine_.clock, DECAY, "dcg",
-                       f"total={runtime.state.dcg.total_weight:.0f}")
+                       {"total": f"{runtime.state.dcg.total_weight:.0f}"})
 
         decay_organizer.run = decay_run
 

@@ -22,6 +22,7 @@ organizer.)
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.aos.cost_accounting import (AI_ORGANIZER, DECAY_ORGANIZER,
@@ -143,8 +144,12 @@ class AIOrganizer:
                      self._active.items(),
                      key=lambda kv: (-kv[1], kv[0].callee, kv[0].context))]
         state.rules = rules
-        state.rules_fingerprint = hash(tuple((r.key.callee, r.key.context)
-                                             for r in rules))
+        # A process-independent fingerprint (builtin hash() is salted by
+        # PYTHONHASHSEED): rule-set equality still gates recompilation,
+        # and decision-provenance logs recorded on different machines now
+        # carry comparable fingerprints.
+        state.rules_fingerprint = zlib.crc32(repr(
+            tuple((r.key.callee, r.key.context) for r in rules)).encode())
         return rules
 
 

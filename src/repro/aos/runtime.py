@@ -34,6 +34,9 @@ from repro.jvm.interpreter import Machine
 from repro.jvm.program import Program
 from repro.jvm.values import Value
 from repro.policies.base import ContextSensitivityPolicy
+from repro.provenance.metrics import fold_into_telemetry
+from repro.provenance.reasons import EventKind
+from repro.provenance.recorder import NULL_PROVENANCE, ProvenanceRecorder
 from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
@@ -93,7 +96,8 @@ class AdaptiveRuntime:
                  costs: CostModel = DEFAULT_COSTS,
                  probe: Optional[TerminationStatsProbe] = None,
                  sample_phase: float = 0.0,
-                 telemetry: Optional[TelemetryRecorder] = None):
+                 telemetry: Optional[TelemetryRecorder] = None,
+                 provenance: Optional[ProvenanceRecorder] = None):
         program.validate()
         self.program = program
         self.policy = policy
@@ -104,6 +108,11 @@ class AdaptiveRuntime:
         # cycle-identical.  The NullRecorder default makes every
         # instrumentation point a no-op.
         self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        # Decision provenance follows the same contract (see
+        # repro.provenance): recording changes no decisions and charges no
+        # cycles, so recorded and unrecorded runs are bit-identical.
+        self.provenance = (provenance if provenance is not None
+                           else NULL_PROVENANCE)
 
         self.hierarchy = ClassHierarchy(program)
         self.code_cache = CodeCache(costs)
@@ -119,12 +128,13 @@ class AdaptiveRuntime:
         self.decay_organizer = DecayOrganizer(self.state, costs)
         self.controller = Controller(program, self.hierarchy, self.state,
                                      self.code_cache, self.database, costs,
-                                     telemetry=self.telemetry)
+                                     telemetry=self.telemetry,
+                                     provenance=self.provenance)
         self.missing_edge_organizer = MissingEdgeOrganizer(
             self.state, self.code_cache, self.database, costs)
         self.compilation_thread = CompilationThread(
             program, self.hierarchy, self.code_cache, self.database, costs,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry, provenance=self.provenance)
 
         self.machine = Machine(program, self.hierarchy, self.code_cache,
                                costs, self.accounting, self._tick)
@@ -132,9 +142,11 @@ class AdaptiveRuntime:
         self.machine.class_load_handler = self._on_class_load
         self.machine.telemetry = self.telemetry
         self.code_cache.telemetry = self.telemetry
+        self.code_cache.provenance = self.provenance
         self.telemetry.bind(
             lambda: self.machine.clock,
             lambda component: self.accounting.cycles.get(component, 0.0))
+        self.provenance.bind(lambda: self.machine.clock)
 
         # ``sample_phase`` (in [0, 1)) offsets the first timer tick, playing
         # the role of Jikes RVM's timer nondeterminism: the paper reports
@@ -225,6 +237,7 @@ class AdaptiveRuntime:
     def _osr_request(self, method_id: str) -> None:
         """Machine OSR trigger: note the event, forward to the controller."""
         self.telemetry.instant(CONTROLLER, "osr_request", method=method_id)
+        self.provenance.event(EventKind.OSR, method_id)
         self.controller.osr_request(method_id)
 
     # -- class loading -------------------------------------------------------------
@@ -249,7 +262,9 @@ class AdaptiveRuntime:
                     # still in flight), clearing here would orphan the
                     # remaining selectors and leave a later class load
                     # unable to ever invalidate this method.
-                    if self.code_cache.invalidate(root_id):
+                    if self.code_cache.invalidate(
+                            root_id, selector=selector,
+                            loaded_class=class_name):
                         self.database.log_invalidation(
                             root_id, selector, self.machine.clock)
                         self.telemetry.instant(
@@ -279,6 +294,11 @@ class AdaptiveRuntime:
             self.hot_methods_organizer.run(self.machine,
                                            self.method_listener,
                                            self.controller)
+        if self.provenance.enabled:
+            # Fold the derived provenance metrics (dilution ratio, guard
+            # eliminations, refusal histogram) into telemetry gauges so
+            # they land in snapshots and the Chrome-trace export.
+            fold_into_telemetry(self.provenance.decisions, self.telemetry)
         return self._result(value)
 
     def _result(self, value: Value) -> RunResult:

@@ -22,6 +22,15 @@ Commands
     Run one benchmark with telemetry enabled, export a Chrome trace-event
     JSON (open at https://ui.perfetto.dev), and print the per-component
     overhead summary reconciled against the run's cost accounting.
+``explain``
+    Run one benchmark with decision provenance and print the per-site
+    decision tree (verdicts, reason codes, profile evidence) for one
+    compiled method.
+``decisions``
+    ``record`` a run's decision-provenance log as versioned JSONL, or
+    ``diff`` two logs: align final decisions by (site, context), report
+    flipped verdicts with their reason codes, and attribute run-level
+    cycle/code-space deltas to the flips.
 """
 
 from __future__ import annotations
@@ -83,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(--no-resume disables)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore every cache and rerun the full sweep")
+    sweep.add_argument("--decision-logs", action="store_true",
+                       help="persist each cell's best-run decision-"
+                            "provenance log next to its cached result "
+                            "(<fingerprint>.decisions.jsonl)")
 
     figures = sub.add_parser("figures",
                              help="render figures from a cached sweep")
@@ -130,6 +143,40 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--out", default="trace.json",
                        help="output path for the Chrome trace-event JSON "
                             "(open at https://ui.perfetto.dev)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="run one benchmark and print a method's inlining decision "
+             "tree with reason codes and profile evidence")
+    explain.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    explain.add_argument("method",
+                         help="compiled method id, e.g. Drv.t0 "
+                              "(pass a wrong one to see what's available)")
+    explain.add_argument("--policy", default="cins", choices=POLICY_LABELS)
+    explain.add_argument("--depth", type=int, default=1)
+    explain.add_argument("--scale", type=float, default=1.0)
+    explain.add_argument("--phase", type=float, default=0.0)
+
+    decisions = sub.add_parser(
+        "decisions",
+        help="record or diff decision-provenance logs")
+    decisions_sub = decisions.add_subparsers(dest="decisions_command",
+                                             required=True)
+    record = decisions_sub.add_parser(
+        "record", help="run one benchmark and write its decision log")
+    record.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    record.add_argument("--policy", default="cins", choices=POLICY_LABELS)
+    record.add_argument("--depth", type=int, default=1)
+    record.add_argument("--scale", type=float, default=1.0)
+    record.add_argument("--phase", type=float, default=0.0)
+    record.add_argument("-o", "--out", default="decisions.jsonl",
+                        help="output path for the versioned JSONL log")
+    diff = decisions_sub.add_parser(
+        "diff", help="align two decision logs and report flipped verdicts")
+    diff.add_argument("log_a", help="first *.decisions.jsonl log")
+    diff.add_argument("log_b", help="second *.decisions.jsonl log")
+    diff.add_argument("--limit", type=int, default=None,
+                      help="show at most this many flips per section")
     return parser
 
 
@@ -174,7 +221,8 @@ def _cmd_sweep(args) -> int:
         else POLICY_FAMILIES,
         depths=tuple(args.depths) if args.depths else DEPTHS,
         phases=tuple(args.phases) if args.phases else DEFAULT_PHASES,
-        scale=args.scale, jobs=args.jobs, cell_timeout=args.timeout)
+        scale=args.scale, jobs=args.jobs, cell_timeout=args.timeout,
+        decision_logs=args.decision_logs)
     results = load_or_run_sweep(args.out, config, verbose=True,
                                 use_cache=not args.no_cache,
                                 resume=args.resume)
@@ -280,6 +328,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _record_run(args):
+    """Run one benchmark with provenance; return (result, recorder)."""
+    from repro.provenance import ProvenanceRecorder
+
+    recorder = ProvenanceRecorder(
+        label=f"{args.benchmark}/{args.policy}/max{args.depth}"
+              f"@{args.phase:g}")
+    result = run_single(args.benchmark, args.policy, args.depth,
+                        phase=args.phase, scale=args.scale,
+                        provenance=recorder)
+    return result, recorder
+
+
+def _cmd_explain(args) -> int:
+    from repro.provenance import explain_method
+
+    _result, recorder = _record_run(args)
+    try:
+        rendered = explain_method(recorder.records, args.method)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(rendered)
+    return 0
+
+
+def _cmd_decisions(args) -> int:
+    if args.decisions_command == "record":
+        from repro.experiments.runner import decision_log_meta
+
+        result, recorder = _record_run(args)
+        count = recorder.write_jsonl(
+            args.out, decision_log_meta(args.benchmark, args.policy,
+                                        args.depth, args.phase, args.scale,
+                                        result))
+        print(f"{count} provenance records -> {args.out}")
+        return 0
+
+    from repro.provenance import diff_logs, render_diff
+    try:
+        diff = diff_logs(args.log_a, args.log_b)
+    except (OSError, ValueError) as exc:
+        print(f"cannot diff: {exc}", file=sys.stderr)
+        return 1
+    print(render_diff(diff, limit=args.limit))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "table1": _cmd_table1,
@@ -289,6 +385,8 @@ _COMMANDS = {
     "termination": _cmd_termination,
     "inspect": _cmd_inspect,
     "trace": _cmd_trace,
+    "explain": _cmd_explain,
+    "decisions": _cmd_decisions,
 }
 
 

@@ -21,6 +21,14 @@ Static heuristics (applied before any profile data):
 Profile data additionally enables **guarded inlining** at virtual sites
 that class hierarchy analysis cannot bind, using the paper's Equation-3
 partial-context match plus intersection-of-target-sets to pick targets.
+
+Every verdict carries a :class:`~repro.provenance.reasons.ReasonCode` --
+a closed vocabulary instead of free text -- plus the evidence behind it
+(size class, size estimate, Equation-3 coverage, profile weight, guard
+kind), and is reported to the compilation's
+:class:`~repro.provenance.recorder.ProvenanceRecorder` when one is
+attached.  Recording is pure instrumentation: it changes no decisions
+and charges no cycles.
 """
 
 from __future__ import annotations
@@ -36,12 +44,19 @@ from repro.jvm.program import (E_ARG, InterfaceCall, MethodDef, Program,
                                StaticCall, VirtualCall)
 from repro.profiles.partial_match import candidate_targets, contexts_compatible
 from repro.profiles.trace import Context, InlineRule
+from repro.provenance.reasons import (GUARD_CLASS_TEST, GUARD_METHOD_TEST,
+                                      GUARD_PREEXISTENCE, ReasonCode,
+                                      VERDICT_DIRECT, VERDICT_GUARDED,
+                                      VERDICT_REFUSED, reason_value)
+from repro.provenance.recorder import NULL_PROVENANCE
 from repro.telemetry.recorder import NULL_RECORDER
 
 #: Refusal reasons that are permanent for a given rule set and therefore
 #: recorded in the AOS database (the missing-edge organizer must not keep
-#: recommending recompilation for them).
-RECORDED_REFUSALS = ("large", "space", "budget", "recursive")
+#: recommending recompilation for them).  Derived from the closed
+#: :class:`ReasonCode` vocabulary so the two cannot drift.
+RECORDED_REFUSALS = (ReasonCode.LARGE.value, ReasonCode.SPACE.value,
+                     ReasonCode.BUDGET.value, ReasonCode.RECURSIVE.value)
 
 #: Callback signature: (caller_id, site, callee_id, reason).
 RefusalSink = Callable[[str, int, str, str], None]
@@ -80,34 +95,65 @@ def guard_coverage(site_traces, comp_context: Context, chosen) -> float:
 
 
 class Decision:
-    """The oracle's answer for one call site."""
+    """The oracle's answer for one call site, with its evidence.
 
-    __slots__ = ("inline", "guarded", "targets", "reason")
+    ``reason`` is always a :class:`ReasonCode` value (the stable string,
+    normalized in the constructor).  The evidence fields (``size_class``,
+    ``estimate``, ``coverage``, ``weight``, ``guard_kind``) are filled in
+    by whichever oracle branch produced the verdict and flow into the
+    decision-provenance records; they never influence the verdict itself.
+    """
+
+    __slots__ = ("inline", "guarded", "targets", "reason", "size_class",
+                 "estimate", "coverage", "weight", "guard_kind")
 
     def __init__(self, inline: bool, guarded: bool = False,
-                 targets: Sequence[MethodDef] = (), reason: str = ""):
+                 targets: Sequence[MethodDef] = (), reason: str = "", *,
+                 size_class=None, estimate: Optional[int] = None,
+                 coverage: Optional[float] = None,
+                 weight: Optional[float] = None,
+                 guard_kind: Optional[str] = None):
         self.inline = inline
         self.guarded = guarded
         self.targets = tuple(targets)
-        self.reason = reason
+        self.reason = reason_value(reason)
+        self.size_class = getattr(size_class, "value", size_class)
+        self.estimate = estimate
+        self.coverage = coverage
+        self.weight = weight
+        self.guard_kind = guard_kind
 
-    @classmethod
-    def no(cls, reason: str) -> "Decision":
-        return cls(False, reason=reason)
-
-    @classmethod
-    def direct(cls, target: MethodDef, reason: str = "") -> "Decision":
-        return cls(True, guarded=False, targets=(target,), reason=reason)
-
-    @classmethod
-    def guarded_inline(cls, targets: Sequence[MethodDef]) -> "Decision":
-        return cls(True, guarded=True, targets=targets, reason="profile")
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    @property
+    def verdict(self) -> str:
+        """The provenance verdict string: direct / guarded / refused."""
         if not self.inline:
-            return f"<Decision no ({self.reason})>"
+            return VERDICT_REFUSED
+        return VERDICT_GUARDED if self.guarded else VERDICT_DIRECT
+
+    @classmethod
+    def no(cls, reason: str, **evidence) -> "Decision":
+        return cls(False, reason=reason, **evidence)
+
+    @classmethod
+    def direct(cls, target: MethodDef, reason: str = "",
+               **evidence) -> "Decision":
+        return cls(True, guarded=False, targets=(target,), reason=reason,
+                   **evidence)
+
+    @classmethod
+    def guarded_inline(cls, targets: Sequence[MethodDef],
+                       reason: str = ReasonCode.PROFILE,
+                       **evidence) -> "Decision":
+        return cls(True, guarded=True, targets=targets, reason=reason,
+                   **evidence)
+
+    def __repr__(self) -> str:
+        """Stable rendering derived from the verdict and reason code."""
+        if not self.inline:
+            return f"<Decision refused:{self.reason}>"
         kind = "guarded" if self.guarded else "direct"
-        return f"<Decision {kind} {[t.id for t in self.targets]}>"
+        targets = ",".join(t.id for t in self.targets)
+        return f"<Decision {kind}:{self.reason} [{targets}]>"
 
 
 class InlineOracle:
@@ -123,13 +169,15 @@ class InlineOracle:
                  on_refusal: Optional[RefusalSink] = None,
                  dcg=None,
                  on_cha_dependency: Optional[DependencySink] = None,
-                 telemetry=NULL_RECORDER):
+                 telemetry=NULL_RECORDER,
+                 provenance=NULL_PROVENANCE):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
         self._on_refusal = on_refusal
         self._on_cha_dependency = on_cha_dependency
         self._telemetry = telemetry
+        self._provenance = provenance
         #: Optional read-only view of the dynamic call graph, used for the
         #: guard-coverage (receiver-skew) test.  ``None`` disables the test
         #: (useful for unit tests of the pure rule logic).
@@ -156,9 +204,13 @@ class InlineOracle:
         inline nesting depth of the site.
         """
         if isinstance(stmt, StaticCall):
+            site_kind, selector = "static", stmt.target
             decision = self._decide_static(stmt, comp_context, depth,
                                            current_size, root)
         elif isinstance(stmt, (VirtualCall, InterfaceCall)):
+            site_kind = ("interface" if isinstance(stmt, InterfaceCall)
+                         else "virtual")
+            selector = stmt.selector
             decision = self._decide_virtual(stmt, comp_context, depth,
                                             current_size, root)
         else:
@@ -167,6 +219,19 @@ class InlineOracle:
         if decision.inline:
             self._telemetry.count("oracle.inlines.guarded" if decision.guarded
                                   else "oracle.inlines.direct")
+        if self._provenance.enabled:
+            caller_id, site = comp_context[0]
+            self._provenance.decision(
+                root=root.id, caller=caller_id, site=site, depth=depth,
+                site_kind=site_kind, selector=selector,
+                verdict=decision.verdict, reason=decision.reason,
+                context=comp_context,
+                targets=[t.id for t in decision.targets],
+                size_class=decision.size_class,
+                size_estimate=decision.estimate,
+                current_size=current_size, coverage=decision.coverage,
+                guard_kind=decision.guard_kind,
+                profile_weight=decision.weight)
         return decision
 
     def profile_predicts(self, caller_id: str, site: int,
@@ -194,38 +259,51 @@ class InlineOracle:
         caller_id, site = comp_context[0]
 
         if self._is_recursive(target, comp_context, root):
-            return self._refuse(caller_id, site, target.id, "recursive")
+            return self._refuse(caller_id, site, target.id,
+                                ReasonCode.RECURSIVE)
         if depth >= costs.max_inline_depth:
-            return Decision.no("depth")
+            return Decision.no(ReasonCode.DEPTH)
 
         const_args = count_constant_args(stmt.args)
         size_class = classify(target, costs, const_args)
         if size_class is SizeClass.LARGE:
-            return self._refuse(caller_id, site, target.id, "large")
+            return self._refuse(caller_id, site, target.id, ReasonCode.LARGE,
+                                size_class=size_class)
 
         estimate = estimate_inlined_bytecodes(target, const_args)
         if current_size + estimate > costs.absolute_size_cap:
-            return self._refuse(caller_id, site, target.id, "space")
+            return self._refuse(caller_id, site, target.id, ReasonCode.SPACE,
+                                size_class=size_class, estimate=estimate)
 
         if size_class is SizeClass.TINY:
-            return Decision.direct(target, "tiny")
+            return Decision.direct(target, ReasonCode.TINY,
+                                   size_class=size_class, estimate=estimate)
 
         predicted = self.profile_predicts(caller_id, site, comp_context)
         if size_class is SizeClass.SMALL:
             budget = max(root.bytecodes * costs.space_expansion_factor,
                          4.0 * costs.small_limit)
             if current_size + estimate <= budget:
-                return Decision.direct(target, "small")
+                return Decision.direct(target, ReasonCode.SMALL,
+                                       size_class=size_class,
+                                       estimate=estimate)
             # Past the normal limits: profile data may still force it
             # (paper Section 3.1, third profile use).
             if target.id in predicted:
-                return Decision.direct(target, "small-hot")
-            return self._refuse(caller_id, site, target.id, "budget")
+                return Decision.direct(target, ReasonCode.SMALL_HOT,
+                                       size_class=size_class,
+                                       estimate=estimate,
+                                       weight=predicted[target.id])
+            return self._refuse(caller_id, site, target.id, ReasonCode.BUDGET,
+                                size_class=size_class, estimate=estimate)
 
         # MEDIUM: profile-directed only.
         if target.id in predicted:
-            return Decision.direct(target, "medium-hot")
-        return Decision.no("no_profile")
+            return Decision.direct(target, ReasonCode.MEDIUM_HOT,
+                                   size_class=size_class, estimate=estimate,
+                                   weight=predicted[target.id])
+        return Decision.no(ReasonCode.NO_PROFILE, size_class=size_class,
+                           estimate=estimate)
 
     # -- virtual calls ---------------------------------------------------------
 
@@ -264,20 +342,25 @@ class InlineOracle:
                 if self._on_cha_dependency is not None:
                     self._on_cha_dependency(root.id, stmt.selector,
                                             loaded_sole.id)
+                decision.guard_kind = GUARD_PREEXISTENCE
                 return decision
-            return Decision.guarded_inline([loaded_sole])
+            return Decision.guarded_inline(
+                [loaded_sole], reason=decision.reason,
+                size_class=decision.size_class, estimate=decision.estimate,
+                weight=decision.weight, guard_kind=GUARD_METHOD_TEST)
 
         costs = self._costs
         caller_id, site = comp_context[0]
         if depth >= costs.max_inline_depth:
-            return Decision.no("depth")
+            return Decision.no(ReasonCode.DEPTH)
 
         predicted = self.profile_predicts(caller_id, site, comp_context)
         if not predicted:
-            return Decision.no("no_profile")
+            return Decision.no(ReasonCode.NO_PROFILE)
 
         const_args = count_constant_args(stmt.args)
         survivors: List[Tuple[MethodDef, float]] = []
+        total_estimate = 0
         running_size = current_size
         for callee_id, weight in sorted(predicted.items(),
                                         key=lambda kv: (-kv[1], kv[0])):
@@ -286,50 +369,60 @@ class InlineOracle:
             except Exception:
                 continue
             if self._is_recursive(target, comp_context, root):
-                self._record(caller_id, site, target.id, "recursive")
+                self._record(caller_id, site, target.id,
+                             ReasonCode.RECURSIVE)
                 continue
             size_class = classify(target, costs, const_args)
             if size_class is SizeClass.LARGE:
-                self._record(caller_id, site, target.id, "large")
+                self._record(caller_id, site, target.id, ReasonCode.LARGE)
                 continue
             estimate = estimate_inlined_bytecodes(target, const_args)
             if running_size + estimate > costs.absolute_size_cap:
-                self._record(caller_id, site, target.id, "space")
+                self._record(caller_id, site, target.id, ReasonCode.SPACE)
                 continue
             survivors.append((target, weight))
             running_size += estimate
+            total_estimate += estimate
             if len(survivors) >= costs.max_guarded_targets:
                 break
 
         if not survivors:
-            return Decision.no("no_eligible_target")
-        if not self._coverage_ok(caller_id, site, comp_context,
-                                 {t.id for t, _w in survivors}):
-            return Decision.no("unskewed")
-        return Decision.guarded_inline([t for t, _w in survivors])
+            return Decision.no(ReasonCode.NO_ELIGIBLE_TARGET)
+        coverage = self._coverage(caller_id, site, comp_context,
+                                  {t.id for t, _w in survivors})
+        if coverage is not None and coverage < costs.guard_coverage_min:
+            return Decision.no(ReasonCode.UNSKEWED, coverage=coverage,
+                               estimate=total_estimate,
+                               weight=sum(w for _t, w in survivors))
+        return Decision.guarded_inline(
+            [t for t, _w in survivors], coverage=coverage,
+            estimate=total_estimate,
+            weight=sum(w for _t, w in survivors),
+            guard_kind=GUARD_CLASS_TEST)
 
-    # -- guard coverage (receiver skew) --------------------------------------------
+    # -- guard coverage (receiver skew) ----------------------------------------
 
-    def _coverage_ok(self, caller_id: str, site: int, comp_context: Context,
-                     chosen: set) -> bool:
-        """Do the chosen targets cover enough of the site's dispatches?
+    def _coverage(self, caller_id: str, site: int, comp_context: Context,
+                  chosen: set) -> Optional[float]:
+        """Eq.-3-compatible dispatch coverage of the chosen targets.
 
         Considers every profiled trace at the site whose context is
         Eq.-3-compatible with the compilation context -- including traces
-        too cold to have become rules -- and requires the chosen targets'
-        weight share to reach ``guard_coverage_min``.  This is the
-        skewed-receiver-distribution requirement of Jikes RVM's guarded
-        inlining: guards that miss often cost more than plain dispatch.
+        too cold to have become rules.  Returns ``None`` when no DCG is
+        attached or the site has no trace data (nothing contradicts the
+        choice); the caller compares the value against
+        ``guard_coverage_min``, the skewed-receiver-distribution
+        requirement of Jikes RVM's guarded inlining: guards that miss
+        often cost more than plain dispatch.
         """
         if self._dcg is None:
-            return True
+            return None
         if self._site_traces is None:
             self._site_traces = build_site_trace_index(self._dcg)
         traces = self._site_traces.get((caller_id, site))
         if not traces:
-            return True  # no data beyond the rules themselves
-        coverage = guard_coverage(traces, comp_context, chosen)
-        return coverage >= self._costs.guard_coverage_min
+            return None  # no data beyond the rules themselves
+        return guard_coverage(traces, comp_context, chosen)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -340,12 +433,13 @@ class InlineOracle:
         return any(caller == target.id for caller, _site in comp_context)
 
     def _refuse(self, caller_id: str, site: int, callee_id: str,
-                reason: str) -> Decision:
+                reason: ReasonCode, **evidence) -> Decision:
         self._record(caller_id, site, callee_id, reason)
-        return Decision.no(reason)
+        return Decision.no(reason, **evidence)
 
     def _record(self, caller_id: str, site: int, callee_id: str,
-                reason: str) -> None:
-        if self._on_refusal is not None and reason in RECORDED_REFUSALS:
-            self._telemetry.count(f"oracle.refusals.{reason}")
-            self._on_refusal(caller_id, site, callee_id, reason)
+                reason: ReasonCode) -> None:
+        code = reason_value(reason)
+        if self._on_refusal is not None and code in RECORDED_REFUSALS:
+            self._telemetry.count(f"oracle.refusals.{code}")
+            self._on_refusal(caller_id, site, callee_id, code)

@@ -33,6 +33,7 @@ import warnings
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.aos.runtime import RunResult
+from repro.provenance.records import read_decision_log, write_decision_log
 
 #: Schema version of one cell entry file.
 CELL_FORMAT = 1
@@ -126,3 +127,38 @@ class CellCache:
             json.dump(payload, handle)
         os.replace(tmp, path)
         return path
+
+    # -- decision-provenance logs ------------------------------------------
+
+    def decision_log_path(self, fingerprint: str) -> str:
+        """Where a cell's decision log lives (sibling of its result)."""
+        return os.path.join(self.root, fingerprint + ".decisions.jsonl")
+
+    def has_decision_log(self, fingerprint: str) -> bool:
+        return os.path.exists(self.decision_log_path(fingerprint))
+
+    def store_decision_log(self, fingerprint: str, records,
+                           meta: Optional[dict] = None) -> str:
+        """Atomically persist one cell's decision log; returns its path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.decision_log_path(fingerprint)
+        write_decision_log(path, records, meta or {})
+        return path
+
+    def load_decision_log(self, fingerprint: str):
+        """``(meta, records)`` for a cached log, or ``None``.
+
+        Same tolerance policy as :meth:`load`: missing is silent, corrupt
+        warns and costs a re-record, never the sweep.
+        """
+        path = self.decision_log_path(fingerprint)
+        try:
+            return read_decision_log(path)
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"decision log {path!r} is unreadable "
+                f"({type(exc).__name__}: {exc}); ignoring it",
+                RuntimeWarning, stacklevel=2)
+            return None

@@ -90,6 +90,13 @@ class SweepConfig:
     #: pool; ``None`` disables the limit.  A cell that exceeds it is
     #: recorded as a structured failure instead of stalling the sweep.
     cell_timeout: Optional[float] = None
+    #: Persist each cell's best-run decision-provenance log next to its
+    #: cached result (``<fingerprint>.decisions.jsonl``).  Execution-only
+    #: output, deliberately excluded from the cell fingerprint: recording
+    #: provenance cannot change a cell's result (the zero-overhead
+    #: contract of :mod:`repro.provenance`), so cached results stay valid
+    #: either way.
+    decision_logs: bool = False
 
     def cell_fingerprint(self, benchmark: str, family: str, depth: int,
                          costs: CostModel = DEFAULT_COSTS) -> str:

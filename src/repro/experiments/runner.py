@@ -41,6 +41,8 @@ from repro.experiments.cell_cache import (CellCache, cell_cache_root,
 from repro.experiments.config import SweepConfig
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.policies import make_policy
+from repro.provenance.recorder import ProvenanceRecorder
+from repro.provenance.records import ProvenanceRecord
 from repro.telemetry.recorder import TelemetryRecorder, TelemetrySnapshot
 from repro.workloads.spec import GeneratedBenchmark, build_benchmark
 
@@ -57,6 +59,7 @@ def run_single(benchmark: str, family: str, depth: int,
                costs: CostModel = DEFAULT_COSTS,
                probe: Optional[TerminationStatsProbe] = None,
                telemetry: Optional[TelemetryRecorder] = None,
+               provenance: Optional[ProvenanceRecorder] = None,
                generated: Optional[GeneratedBenchmark] = None) -> RunResult:
     """Run one benchmark under one policy at one sampling phase.
 
@@ -69,16 +72,46 @@ def run_single(benchmark: str, family: str, depth: int,
     policy = make_policy(family, depth, costs)
     runtime = AdaptiveRuntime(generated.program, policy, costs,
                               probe=probe, sample_phase=phase,
-                              telemetry=telemetry)
+                              telemetry=telemetry, provenance=provenance)
     return runtime.run()
+
+
+def decision_log_meta(benchmark: str, family: str, depth: int,
+                      phase: float, scale: float,
+                      result: RunResult) -> Dict[str, object]:
+    """JSONL header metadata for one run's decision log.
+
+    Carries the run-level metrics ``repro decisions diff`` attributes
+    flips to (cycles, live code space, guard traffic) plus enough
+    identity to label the diff.
+    """
+    return {
+        "label": f"{benchmark}/{family}/max{depth}@{phase:g}",
+        "benchmark": benchmark,
+        "family": family,
+        "depth": depth,
+        "phase": phase,
+        "scale": scale,
+        "total_cycles": result.total_cycles,
+        "live_opt_code_bytes": result.live_opt_code_bytes,
+        "opt_code_bytes": result.opt_code_bytes,
+        "opt_compilations": result.opt_compilations,
+        "guard_tests": result.guard_tests,
+        "guard_misses": result.guard_misses,
+    }
+
+
+#: ``(header meta, records)`` of one cell's best-run decision log.
+DecisionLog = Tuple[Dict[str, object], List[ProvenanceRecord]]
 
 
 def run_cell(benchmark: str, family: str, depth: int,
              phases: Sequence[float], scale: float = 1.0,
              costs: CostModel = DEFAULT_COSTS,
              probe: Optional[TerminationStatsProbe] = None,
-             collect_telemetry: bool = False) \
-        -> Union[RunResult, Tuple[RunResult, TelemetrySnapshot]]:
+             collect_telemetry: bool = False,
+             collect_provenance: bool = False) \
+        -> Union[RunResult, Tuple]:
     """Best-of-phases run for one sweep cell (paper methodology).
 
     The benchmark program is generated once and shared by all phase runs;
@@ -91,48 +124,76 @@ def run_cell(benchmark: str, family: str, depth: int,
     describe the run actually reported, not a mixture of all N attempts.
     With ``collect_telemetry`` each phase likewise runs under a fresh
     :class:`TelemetryRecorder` and the best run's frozen snapshot is
-    returned alongside its :class:`RunResult` as a 2-tuple.
+    returned alongside its :class:`RunResult`; with
+    ``collect_provenance`` the best run's :data:`DecisionLog` (header
+    meta plus record stream) is appended to the return tuple.  The
+    return shape follows the flags: ``result``,
+    ``(result, snapshot)``, ``(result, log)``, or
+    ``(result, snapshot, log)``.
     """
     generated = build_benchmark(benchmark, scale=scale)
     best: Optional[RunResult] = None
     best_snapshot: Optional[TelemetrySnapshot] = None
+    best_log: Optional[DecisionLog] = None
     best_probe: Optional[TerminationStatsProbe] = None
     for phase in phases:
         recorder = None
         if collect_telemetry:
             recorder = TelemetryRecorder(
                 label=f"{benchmark}/{family}/max{depth}@{phase:g}")
+        provenance = None
+        if collect_provenance:
+            provenance = ProvenanceRecorder(
+                label=f"{benchmark}/{family}/max{depth}@{phase:g}")
         phase_probe = None
         if probe is not None:
             phase_probe = TerminationStatsProbe(costs, horizon=probe.horizon)
         result = run_single(benchmark, family, depth, phase, scale, costs,
                             probe=phase_probe, telemetry=recorder,
-                            generated=generated)
+                            provenance=provenance, generated=generated)
         if best is None or result.total_cycles < best.total_cycles:
             best = result
             best_probe = phase_probe
             if recorder is not None:
                 best_snapshot = recorder.snapshot()
+            if provenance is not None:
+                best_log = (decision_log_meta(benchmark, family, depth,
+                                              phase, scale, result),
+                            provenance.records)
     assert best is not None
     if probe is not None and best_probe is not None:
         probe.absorb(best_probe)
+    extras: List[object] = []
     if collect_telemetry:
         assert best_snapshot is not None
-        return best, best_snapshot
+        extras.append(best_snapshot)
+    if collect_provenance:
+        assert best_log is not None
+        extras.append(best_log)
+    if extras:
+        return (best, *extras)
     return best
 
 
 def _cell_worker(args) \
-        -> Tuple[CellKey, RunResult, Optional[TelemetrySnapshot]]:
-    benchmark, family, depth, phases, scale, probe, collect_telemetry = args
+        -> Tuple[CellKey, RunResult, Optional[TelemetrySnapshot],
+                 Optional[DecisionLog]]:
+    (benchmark, family, depth, phases, scale, probe,
+     collect_telemetry, collect_provenance) = args
     snapshot: Optional[TelemetrySnapshot] = None
-    if collect_telemetry:
-        result, snapshot = run_cell(benchmark, family, depth, phases, scale,
-                                    probe=probe, collect_telemetry=True)
+    log: Optional[DecisionLog] = None
+    outcome = run_cell(benchmark, family, depth, phases, scale,
+                       probe=probe, collect_telemetry=collect_telemetry,
+                       collect_provenance=collect_provenance)
+    if collect_telemetry and collect_provenance:
+        result, snapshot, log = outcome
+    elif collect_telemetry:
+        result, snapshot = outcome
+    elif collect_provenance:
+        result, log = outcome
     else:
-        result = run_cell(benchmark, family, depth, phases, scale,
-                          probe=probe)
-    return (benchmark, family, depth), result, snapshot
+        result = outcome
+    return (benchmark, family, depth), result, snapshot, log
 
 
 @dataclass
@@ -235,8 +296,9 @@ class SweepResults:
 
 # -- the fault-tolerant cell executors -----------------------------------------
 
-#: ``finish(key, result, snapshot)`` / ``fail(key, failure)`` sinks.
-_FinishFn = Callable[[CellKey, RunResult, Optional[TelemetrySnapshot]], None]
+#: ``finish(key, result, snapshot, log)`` / ``fail(key, failure)`` sinks.
+_FinishFn = Callable[[CellKey, RunResult, Optional[TelemetrySnapshot],
+                      Optional[DecisionLog]], None]
 _FailFn = Callable[[CellKey, "CellFailure"], None]
 
 
@@ -253,11 +315,11 @@ def _run_cell_with_retry(key: CellKey, args, finish: _FinishFn,
     while attempts < MAX_CELL_ATTEMPTS:
         attempts += 1
         try:
-            _key, result, snapshot = _cell_worker(args)
+            _key, result, snapshot, log = _cell_worker(args)
         except Exception as exc:
             last = exc
             continue
-        finish(key, result, snapshot)
+        finish(key, result, snapshot, log)
         return
     assert last is not None
     fail(key, CellFailure(
@@ -296,7 +358,7 @@ def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
     try:
         for key, future in futures:
             try:
-                _key, result, snapshot = future.result(timeout=timeout)
+                _key, result, snapshot, log = future.result(timeout=timeout)
             except FutureTimeout:
                 future.cancel()
                 fail(key, CellFailure(
@@ -313,7 +375,7 @@ def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
                 _run_cell_with_retry(key, args_for(key), finish, fail,
                                      attempts_before=1)
             else:
-                finish(key, result, snapshot)
+                finish(key, result, snapshot, log)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return stranded
@@ -336,6 +398,13 @@ def run_sweep(config: SweepConfig = SweepConfig(),
     process; cells served from the cache have no snapshot (see
     :func:`repro.telemetry.aggregate.merge_cell_telemetry` for combining
     partial maps across resumed runs).
+
+    With ``config.decision_logs`` every freshly run cell's best run also
+    carries its decision-provenance record stream back, persisted as
+    ``<fingerprint>.decisions.jsonl`` beside the cached result.  A cached
+    cell whose log is missing (e.g. cached by a sweep without the flag)
+    is re-run so the log exists -- recording cannot change the result
+    (zero-overhead contract), so the rerun reproduces the cached bits.
     """
     cells = list(config.configurations())
     total = len(cells)
@@ -343,11 +412,20 @@ def run_sweep(config: SweepConfig = SweepConfig(),
     failures: Dict[CellKey, CellFailure] = {}
     telemetry: Optional[Dict[CellKey, TelemetrySnapshot]] = \
         {} if collect_telemetry else None
+    if config.decision_logs and cache is None:
+        warnings.warn(
+            "decision_logs requested without a per-cell cache; logs have "
+            "nowhere to go and will be discarded",
+            RuntimeWarning, stacklevel=2)
 
     fingerprints: Dict[CellKey, str] = {}
     if cache is not None:
         fingerprints = {key: config.cell_fingerprint(*key) for key in cells}
         results.update(cache.load_many(fingerprints))
+        if config.decision_logs:
+            # Results without a decision log must re-run to produce one.
+            results = {key: result for key, result in results.items()
+                       if cache.has_decision_log(fingerprints[key])}
         if verbose and results:
             print(f"  resumed {len(results)}/{total} cell(s) "
                   f"from {cache.root}")
@@ -356,13 +434,17 @@ def run_sweep(config: SweepConfig = SweepConfig(),
     done = len(results)
 
     def finish(key: CellKey, result: RunResult,
-               snapshot: Optional[TelemetrySnapshot]) -> None:
+               snapshot: Optional[TelemetrySnapshot],
+               log: Optional["DecisionLog"]) -> None:
         nonlocal done
         results[key] = result
         if telemetry is not None and snapshot is not None:
             telemetry[key] = snapshot
         if cache is not None:
             cache.store(fingerprints[key], key, result)
+            if log is not None:
+                meta, records = log
+                cache.store_decision_log(fingerprints[key], records, meta)
         done += 1
         if verbose:
             print(f"  [{done}/{total}] done {key}")
@@ -377,7 +459,7 @@ def run_sweep(config: SweepConfig = SweepConfig(),
 
     def args_for(key: CellKey):
         return (key[0], key[1], key[2], config.phases, config.scale,
-                None, collect_telemetry)
+                None, collect_telemetry, config.decision_logs)
 
     if pending:
         jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
@@ -451,7 +533,12 @@ def load_or_run_sweep(cache_path: str,
         if cache is not None:
             _migrate_legacy_cells(legacy, cache)
         if legacy.config == config and not legacy.failures:
-            return legacy
+            # With decision logs requested, the monolithic fast path is
+            # only valid when every cell's log is actually on disk.
+            if not config.decision_logs or (cache is not None and all(
+                    cache.has_decision_log(config.cell_fingerprint(*key))
+                    for key in config.configurations())):
+                return legacy
 
     results = run_sweep(config, verbose=verbose, cache=cache)
     _write_monolithic(cache_path, results)

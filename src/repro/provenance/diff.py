@@ -1,0 +1,181 @@
+"""Cross-run decision diffing: which verdicts flipped, and why.
+
+``repro decisions diff a.jsonl b.jsonl`` aligns two runs' decision
+records by **(caller, site, compilation context)** -- the identity of a
+call site in the paper's Equation-2 sense -- comparing the *final*
+decision each run installed for every site.  The report separates:
+
+* **verdict flips** -- refused in one run, inlined in the other, or
+  direct vs guarded (a guard eliminated or introduced);
+* **target changes** -- same verdict, different inlined target set;
+* **reason changes** -- refused in both runs but for different codes;
+* **unique sites** -- sites only one run's inline trees ever reached
+  (tree-shape divergence caused by upstream flips).
+
+Each flip carries both reason codes and an estimated code-size
+contribution, so run-level speedup and code-space deltas (taken from the
+log headers) can be attributed to specific decisions rather than waved
+at "the policy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.provenance.records import (DecisionRecord, ProvenanceRecord,
+                                      RecordContext, final_decisions,
+                                      read_decision_log, split_records)
+
+#: Alignment key: (caller, site, context).
+SiteKey = Tuple[str, int, RecordContext]
+
+FLIP_VERDICT = "verdict"    #: inline <-> refused, or direct <-> guarded
+FLIP_TARGETS = "targets"    #: same verdict, different target set
+FLIP_REASON = "reason"      #: refused in both, different reason code
+
+
+@dataclass(frozen=True)
+class Flip:
+    """One aligned site whose decision differs between the two runs."""
+
+    key: SiteKey
+    kind: str                 #: FLIP_VERDICT / FLIP_TARGETS / FLIP_REASON
+    a: DecisionRecord
+    b: DecisionRecord
+
+    @property
+    def code_delta_bc(self) -> int:
+        """Estimated inlined-bytecode delta (B minus A) at this site."""
+        size_a = (self.a.size_estimate or 0) if self.a.inline else 0
+        size_b = (self.b.size_estimate or 0) if self.b.inline else 0
+        return size_b - size_a
+
+    def describe(self) -> str:
+        caller, site, context = self.key
+        chain = " <= ".join(f"{c}@{s}" for c, s in context)
+        a, b = self.a, self.b
+        return (f"{caller}@{site} [{chain}]: "
+                f"{a.verdict}({a.reason}) -> {b.verdict}({b.reason})"
+                + (f" targets {','.join(a.targets) or '-'} -> "
+                   f"{','.join(b.targets) or '-'}"
+                   if self.kind != FLIP_REASON else "")
+                + (f" (est {self.code_delta_bc:+d} bc)"
+                   if self.code_delta_bc else ""))
+
+
+@dataclass
+class DecisionDiff:
+    """The full alignment of two runs' final decisions."""
+
+    flips: List[Flip] = field(default_factory=list)
+    only_a: List[DecisionRecord] = field(default_factory=list)
+    only_b: List[DecisionRecord] = field(default_factory=list)
+    unchanged: int = 0
+    meta_a: Dict[str, Any] = field(default_factory=dict)
+    meta_b: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def verdict_flips(self) -> List[Flip]:
+        return [f for f in self.flips if f.kind == FLIP_VERDICT]
+
+    @property
+    def is_identical(self) -> bool:
+        return not (self.flips or self.only_a or self.only_b)
+
+
+def diff_decisions(records_a: Sequence[ProvenanceRecord],
+                   records_b: Sequence[ProvenanceRecord],
+                   meta_a: Optional[Mapping[str, Any]] = None,
+                   meta_b: Optional[Mapping[str, Any]] = None) \
+        -> DecisionDiff:
+    """Align two record streams and classify every divergence."""
+    finals_a = final_decisions(split_records(records_a)[0])
+    finals_b = final_decisions(split_records(records_b)[0])
+    diff = DecisionDiff(meta_a=dict(meta_a or {}), meta_b=dict(meta_b or {}))
+
+    for key in sorted(set(finals_a) | set(finals_b)):
+        a = finals_a.get(key)
+        b = finals_b.get(key)
+        if a is None:
+            diff.only_b.append(b)
+            continue
+        if b is None:
+            diff.only_a.append(a)
+            continue
+        if a.verdict != b.verdict:
+            diff.flips.append(Flip(key, FLIP_VERDICT, a, b))
+        elif set(a.targets) != set(b.targets):
+            diff.flips.append(Flip(key, FLIP_TARGETS, a, b))
+        elif a.reason != b.reason:
+            diff.flips.append(Flip(key, FLIP_REASON, a, b))
+        else:
+            diff.unchanged += 1
+    return diff
+
+
+def diff_logs(path_a: str, path_b: str) -> DecisionDiff:
+    """Diff two on-disk ``*.decisions.jsonl`` logs."""
+    meta_a, records_a = read_decision_log(path_a)
+    meta_b, records_b = read_decision_log(path_b)
+    return diff_decisions(records_a, records_b, meta_a, meta_b)
+
+
+def _run_delta_lines(diff: DecisionDiff) -> List[str]:
+    """Run-level metric deltas from the two log headers, when present."""
+    lines: List[str] = []
+    pairs = (("total_cycles", "total cycles", "{:+,.0f}"),
+             ("live_opt_code_bytes", "live opt code bytes", "{:+,.0f}"),
+             ("guard_tests", "guard tests", "{:+,.0f}"),
+             ("guard_misses", "guard misses", "{:+,.0f}"))
+    for key, label, fmt in pairs:
+        a = diff.meta_a.get(key)
+        b = diff.meta_b.get(key)
+        if a is None or b is None:
+            continue
+        lines.append(f"  {label:<22} {a:,.0f} -> {b:,.0f} "
+                     f"({fmt.format(b - a)})")
+    return lines
+
+
+def render_diff(diff: DecisionDiff, limit: Optional[int] = None) -> str:
+    """The human-readable diff report."""
+    label_a = diff.meta_a.get("label", "A")
+    label_b = diff.meta_b.get("label", "B")
+    lines = [f"Decision diff: {label_a}  vs  {label_b}"]
+    deltas = _run_delta_lines(diff)
+    if deltas:
+        lines.append("run-level deltas (B - A):")
+        lines.extend(deltas)
+    lines.append(
+        f"aligned sites: {diff.unchanged + len(diff.flips)} "
+        f"({diff.unchanged} unchanged, {len(diff.flips)} flipped); "
+        f"only in A: {len(diff.only_a)}, only in B: {len(diff.only_b)}")
+
+    if diff.is_identical:
+        lines.append("decisions are identical")
+        return "\n".join(lines)
+
+    shown = diff.flips if limit is None else diff.flips[:limit]
+    if shown:
+        lines.append("")
+        lines.append(f"flipped decisions ({len(diff.flips)}):")
+        for flip in shown:
+            lines.append(f"  [{flip.kind}] {flip.describe()}")
+        if limit is not None and len(diff.flips) > limit:
+            lines.append(f"  ... and {len(diff.flips) - limit} more")
+
+    for title, records in (("only in A", diff.only_a),
+                           ("only in B", diff.only_b)):
+        if not records:
+            continue
+        shown_records = records if limit is None else records[:limit]
+        lines.append("")
+        lines.append(f"sites {title} ({len(records)}):")
+        for record in shown_records:
+            lines.append(f"  {record.caller}@{record.site} "
+                         f"{record.site_kind} {record.selector} "
+                         f"{record.verdict}({record.reason})")
+        if limit is not None and len(records) > limit:
+            lines.append(f"  ... and {len(records) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Render per-site decision trees for one compiled method.
+
+``repro explain <benchmark> <method>`` answers the question the raw run
+metrics cannot: *why* does the installed code for a method look the way
+it does?  For every optimizing compilation of the method it prints the
+oracle's verdict at every call site considered -- indented by inline
+depth, so the output reads as the decision tree the compiler actually
+walked -- together with the reason code and the profile evidence
+(Equation-3 coverage, profile weight, guard kind) behind each verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.provenance.records import (CompilationRecord, DecisionRecord,
+                                      ProvenanceRecord, split_records)
+
+
+def available_roots(records: Iterable[ProvenanceRecord]) -> List[str]:
+    """Method ids with at least one recorded compilation, sorted."""
+    decisions, compilations, _events = split_records(records)
+    roots = {c.method for c in compilations}
+    roots.update(d.root for d in decisions)
+    return sorted(roots)
+
+
+def format_decision(record: DecisionRecord) -> str:
+    """One decision record as a single explain line (no indentation)."""
+    head = (f"@{record.site} {record.site_kind} {record.selector} "
+            f"=> {record.verdict} [{record.reason}]")
+    evidence = []
+    if record.targets and (len(record.targets) > 1
+                           or record.targets[0] != record.selector):
+        evidence.append("targets=" + ",".join(record.targets))
+    if record.size_class is not None:
+        evidence.append(f"size={record.size_class}")
+    if record.size_estimate is not None:
+        evidence.append(f"est={record.size_estimate}bc"
+                        f"@{record.current_size}")
+    if record.coverage is not None:
+        evidence.append(f"coverage={record.coverage:.2f}")
+    if record.profile_weight is not None:
+        evidence.append(f"weight={record.profile_weight:g}")
+    if record.guard_kind is not None:
+        evidence.append(f"guard={record.guard_kind}")
+    if evidence:
+        return head + " (" + " ".join(evidence) + ")"
+    return head
+
+
+def _compilation_header(compilation: CompilationRecord) -> str:
+    return (f"compile v{compilation.version} of {compilation.method} "
+            f"[{compilation.reason}] @ {compilation.clock:,.0f}: "
+            f"{compilation.inlined_bytecodes} bc inlined, "
+            f"{compilation.code_bytes} code bytes, "
+            f"{compilation.decisions} decisions")
+
+
+def explain_method(records: Sequence[ProvenanceRecord],
+                   method_id: str) -> str:
+    """Per-compilation decision trees for ``method_id``.
+
+    Raises :class:`ValueError` (listing the methods that *were*
+    compiled) when the method has no recorded compilation, so CLI users
+    get a correction instead of silence.
+    """
+    decisions, compilations, _events = split_records(records)
+    mine = [c for c in compilations if c.method == method_id]
+    mine_decisions = [d for d in decisions if d.root == method_id]
+    if not mine and not mine_decisions:
+        roots = available_roots(records)
+        raise ValueError(
+            f"no recorded compilation of {method_id!r}; methods with "
+            f"provenance: {', '.join(roots) if roots else '(none)'}")
+
+    by_version: Dict[int, List[DecisionRecord]] = {}
+    for record in mine_decisions:
+        by_version.setdefault(record.version, []).append(record)
+
+    lines: List[str] = [f"Decision provenance for {method_id}"]
+    seen_versions = set()
+    for compilation in mine:
+        seen_versions.add(compilation.version)
+        lines.append("")
+        lines.append(_compilation_header(compilation))
+        for record in by_version.get(compilation.version, []):
+            lines.append("  " * (record.depth + 1)
+                         + format_decision(record))
+    # Decisions whose compilation record is missing (e.g. a log truncated
+    # mid-compile) still render, under a synthetic header.
+    for version in sorted(set(by_version) - seen_versions):
+        lines.append("")
+        lines.append(f"compile v{version} of {method_id} [incomplete]")
+        for record in by_version[version]:
+            lines.append("  " * (record.depth + 1)
+                         + format_decision(record))
+    return "\n".join(lines)

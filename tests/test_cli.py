@@ -123,3 +123,57 @@ class TestInspectCommand:
         assert "bc inlined" in out
         assert "AOS event summary" in out
         assert "AOS event timeline" in out
+
+
+class TestExplainCommand:
+    def test_unknown_method_lists_roots_then_explains_one(self, capsys):
+        code = main(["explain", "db", "No.Such", "--policy", "fixed",
+                     "--depth", "2", "--scale", "0.05"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "methods with provenance" in err
+        # The error names the methods that do have provenance; explaining
+        # one of them must succeed.
+        method = err.split(": ", 1)[1].split(",")[0].strip()
+        code = main(["explain", "db", method, "--policy", "fixed",
+                     "--depth", "2", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"Decision provenance for {method}" in out
+        assert "compile v" in out
+
+
+class TestDecisionsCommand:
+    def test_record_then_diff(self, tmp_path, capsys):
+        log_a = str(tmp_path / "fixed4.decisions.jsonl")
+        log_b = str(tmp_path / "cins.decisions.jsonl")
+        assert main(["decisions", "record", "db", "--policy", "fixed",
+                     "--depth", "4", "--scale", "0.05", "-o", log_a]) == 0
+        assert main(["decisions", "record", "db", "--policy", "cins",
+                     "--scale", "0.05", "-o", log_b]) == 0
+        out = capsys.readouterr().out
+        assert "provenance records" in out
+
+        assert main(["decisions", "diff", log_a, log_b]) == 0
+        out = capsys.readouterr().out
+        assert "db/fixed/max4@0" in out
+        assert "db/cins/max1@0" in out
+        assert "flipped" in out
+        assert "[verdict]" in out  # acceptance: >=1 verdict flip w/ reasons
+
+    def test_diff_missing_log_fails(self, tmp_path, capsys):
+        code = main(["decisions", "diff",
+                     str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")])
+        assert code == 1
+        assert "cannot diff" in capsys.readouterr().err
+
+
+class TestSweepDecisionLogs:
+    def test_sweep_flag_writes_logs(self, tmp_path, capsys):
+        cache = str(tmp_path / "sweep.json")
+        code = main(["sweep", "--out", cache, "--scale", "0.05",
+                     "--benchmarks", "db", "--phases", "0.0",
+                     "--decision-logs"])
+        assert code == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("sweep.cells/*.decisions.jsonl"))

@@ -4,7 +4,8 @@ import pytest
 
 from repro.aos.event_log import (COMPILE, DECAY, EVENT_KINDS, Event,
                                  EventLog, INVALIDATE, OSR, RULE_ADDED,
-                                 RULE_RETIRED, attach_event_log)
+                                 RULE_RETIRED, attach_event_log,
+                                 format_detail)
 from repro.aos.runtime import AdaptiveRuntime
 from repro.compiler.tree_printer import render_code_cache, render_inline_tree
 from repro.policies import make_policy
@@ -42,6 +43,34 @@ class TestEventLogUnit:
         assert "C.m" in timeline and "v1 hot" in timeline
         summary = log.render_summary()
         assert "compile" in summary
+
+    def test_structured_detail_accepted_and_flattened(self):
+        log = EventLog()
+        log.record(1.0, COMPILE, "C.m",
+                   {"version": "v1", "reason": "hot", "inlined_bc": 40})
+        [event] = log.events
+        assert event.detail == {"version": "v1", "reason": "hot",
+                                "inlined_bc": 40}
+        assert event.detail_text == "version=v1 reason=hot inlined_bc=40"
+        assert "version=v1" in log.render_timeline()
+
+    def test_format_detail_passthrough_for_strings(self):
+        assert format_detail("plain text") == "plain text"
+        assert format_detail({}) == ""
+        assert Event(0.0, COMPILE, "C.m", "legacy").detail_text == "legacy"
+
+    def test_record_copies_mutable_detail(self):
+        log = EventLog()
+        payload = {"selector": "poly"}
+        log.record(1.0, INVALIDATE, "C.m", payload)
+        payload["selector"] = "mutated"
+        assert log.events[0].detail == {"selector": "poly"}
+
+    def test_kind_vocabulary_shared_with_provenance(self):
+        from repro.provenance import EventKind
+        assert set(EVENT_KINDS) == {kind.value for kind in EventKind}
+        assert RULE_ADDED == EventKind.RULE_ADDED.value
+        assert RULE_RETIRED == EventKind.RULE_RETIRED.value
 
 
 class TestEventLogIntegration:

@@ -365,11 +365,12 @@ class TestProbeThreading:
 
     def test_cell_worker_threads_probe(self):
         probe = TerminationStatsProbe(DEFAULT_COSTS)
-        key, result, snapshot = _cell_worker(
-            ("jess", "fixed", 2, (0.0,), 0.05, probe, False))
+        key, result, snapshot, log = _cell_worker(
+            ("jess", "fixed", 2, (0.0,), 0.05, probe, False, False))
         assert key == ("jess", "fixed", 2)
         assert result.total_cycles > 0
         assert snapshot is None
+        assert log is None
         assert probe.samples > 0
 
 

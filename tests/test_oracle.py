@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.compiler.oracle import Decision, InlineOracle, RECORDED_REFUSALS
+from repro.compiler.oracle import (Decision, InlineOracle, RECORDED_REFUSALS,
+                                   build_site_trace_index, guard_coverage)
 from repro.jvm.costs import CostModel
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.program import (Arg, Const, Return, StaticCall, VirtualCall,
@@ -287,10 +288,93 @@ class TestGuardCoverage:
         assert d.inline
 
 
+class TestCoverageHelpers:
+    """Edge cases for build_site_trace_index and guard_coverage."""
+
+    def test_empty_dcg_yields_empty_index(self):
+        assert build_site_trace_index(DynamicCallGraph()) == {}
+
+    def test_index_groups_by_innermost_edge(self):
+        dcg = DynamicCallGraph()
+        dcg.add(TraceKey("A.poly", (("C.root", 5),)), 3.0)
+        dcg.add(TraceKey("B.poly", (("C.root", 5), ("X", 1))), 2.0)
+        dcg.add(TraceKey("A.poly", (("C.other", 9),)), 1.0)
+        index = build_site_trace_index(dcg)
+        assert set(index) == {("C.root", 5), ("C.other", 9)}
+        assert len(index[("C.root", 5)]) == 2
+
+    def test_single_trace_full_coverage(self):
+        dcg = DynamicCallGraph()
+        key = TraceKey("A.poly", (("C.root", 5),))
+        dcg.add(key, 7.0)
+        traces = build_site_trace_index(dcg)[("C.root", 5)]
+        assert guard_coverage(traces, ROOT_CTX, {"A.poly"}) == 1.0
+        assert guard_coverage(traces, ROOT_CTX, {"B.poly"}) == 0.0
+
+    def test_no_applicable_traces_defaults_to_full_coverage(self):
+        dcg = DynamicCallGraph()
+        dcg.add(TraceKey("A.poly", (("C.root", 5), ("X", 1))), 5.0)
+        traces = build_site_trace_index(dcg)[("C.root", 5)]
+        # Compiling within context Y: the X-trace is Eq.-3 incompatible,
+        # so nothing contradicts the choice.
+        assert guard_coverage(traces, (("C.root", 5), ("Y", 2)),
+                              {"B.poly"}) == 1.0
+
+    def test_coverage_exactly_at_threshold_accepted(self, env):
+        program, _hierarchy, costs = env
+        dcg = DynamicCallGraph()
+        # A.poly covers exactly guard_coverage_min of the dispatch weight.
+        dcg.add(TraceKey("A.poly", (("C.root", 5),)),
+                10.0 * costs.guard_coverage_min)
+        dcg.add(TraceKey("B.poly", (("C.root", 5),)),
+                10.0 * (1.0 - costs.guard_coverage_min))
+        oracle = oracle_for(env, rules=[rule_for("A.poly", ("C.root", 5))],
+                            dcg=dcg)
+        call = VirtualCall(5, "poly", Arg(0))
+        d = oracle.decide(call, ROOT_CTX, 0, 60, program.method("C.root"))
+        assert d.inline  # >= threshold passes; only strictly-below refuses
+        assert d.coverage == pytest.approx(costs.guard_coverage_min)
+
+    def test_coverage_just_below_threshold_refused(self, env):
+        program, _hierarchy, costs = env
+        below = costs.guard_coverage_min - 0.01
+        dcg = DynamicCallGraph()
+        dcg.add(TraceKey("A.poly", (("C.root", 5),)), 10.0 * below)
+        dcg.add(TraceKey("B.poly", (("C.root", 5),)), 10.0 * (1.0 - below))
+        oracle = oracle_for(env, rules=[rule_for("A.poly", ("C.root", 5))],
+                            dcg=dcg)
+        call = VirtualCall(5, "poly", Arg(0))
+        d = oracle.decide(call, ROOT_CTX, 0, 60, program.method("C.root"))
+        assert not d.inline
+        assert d.reason == "unskewed"
+        assert d.coverage == pytest.approx(below)
+
+
 class TestDecisionType:
     def test_decision_repr(self):
-        assert "no" in repr(Decision.no("depth"))
-        assert "guarded" in repr(Decision.guarded_inline(()))
+        # The repr is a stable string derived from verdict + reason code.
+        assert repr(Decision.no("depth")) == "<Decision refused:depth>"
+        assert (repr(Decision.guarded_inline(()))
+                == "<Decision guarded:profile []>")
+
+    def test_decision_repr_direct(self, env):
+        program = env[0]
+        tiny = program.method("C.tiny")
+        assert (repr(Decision.direct(tiny, "tiny"))
+                == "<Decision direct:tiny [C.tiny]>")
+
+    def test_decision_verdict(self, env):
+        program = env[0]
+        tiny = program.method("C.tiny")
+        assert Decision.no("depth").verdict == "refused"
+        assert Decision.direct(tiny, "tiny").verdict == "direct"
+        assert Decision.guarded_inline([tiny]).verdict == "guarded"
+
+    def test_reason_is_normalized_to_plain_string(self):
+        from repro.provenance import ReasonCode
+        d = Decision.no(ReasonCode.DEPTH)
+        assert type(d.reason) is str
+        assert d.reason == "depth"
 
     def test_non_call_statement_rejected(self, env):
         program = env[0]
