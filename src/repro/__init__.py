@@ -57,7 +57,7 @@ from repro.policies import (ClassMethods, ContextInsensitive,
                             ImprecisionDriven, LargeMethods, POLICY_LABELS,
                             ParameterlessClassMethods,
                             ParameterlessLargeMethods, ParameterlessMethods,
-                            make_policy)
+                            StaticOraclePolicy, make_policy)
 
 # -- execution engine ---------------------------------------------------------------
 from repro.jvm.interpreter import Machine, MachineStats
@@ -79,6 +79,13 @@ from repro.provenance import (DecisionRecord, EventKind, ProvenanceRecorder,
                               ReasonCode, diff_logs, explain_method,
                               read_decision_log, render_diff)
 
+# -- static analysis ---------------------------------------------------------------------
+from repro.analysis import (SoundnessReport, StaticCallGraph, StaticOracle,
+                            VerificationReport, VerifierError,
+                            analyze_program, attribute_flips,
+                            build_call_graph, check_soundness,
+                            verify_program)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -99,15 +106,19 @@ __all__ = [
     "NullRecorder",
     "ParameterlessMethods", "Pick", "Program", "ProgramError",
     "ProvenanceRecorder", "ReasonCode", "ReproError",
-    "Return", "RunResult", "SizeClass", "StaticCall", "Stmt", "Sub",
+    "Return", "RunResult", "SizeClass", "SoundnessReport", "StaticCall",
+    "StaticCallGraph", "StaticOracle", "StaticOraclePolicy", "Stmt", "Sub",
     "TelemetryRecorder", "TelemetrySnapshot",
     "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
-    "VirtualCall", "Work", "applicable_rules", "body_bytecodes",
-    "candidate_targets", "classify", "contexts_compatible", "diff_logs",
+    "VerificationReport", "VerifierError",
+    "VirtualCall", "Work", "analyze_program", "applicable_rules",
+    "attribute_flips", "body_bytecodes", "build_call_graph",
+    "candidate_targets", "check_soundness", "classify",
+    "contexts_compatible", "diff_logs",
     "dynamic_class",
     "estimate_inlined_bytecodes", "explain_method", "format_trace",
     "is_large",
     "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
     "physical_method", "read_decision_log", "render_diff",
-    "to_chrome_trace",
+    "to_chrome_trace", "verify_program",
 ]

@@ -1,0 +1,70 @@
+"""Static analysis over mini-JVM programs.
+
+Four coordinated pieces, layered strictly *above* the JVM/compiler
+layers (nothing in :mod:`repro.jvm` or :mod:`repro.compiler` imports
+this package):
+
+* :mod:`repro.analysis.verifier` -- structural well-formedness checking
+  with machine-readable :class:`VerifierError` diagnostics;
+* :mod:`repro.analysis.callgraph` -- whole-program static call graphs at
+  CHA and RTA precision, with static frequency estimates;
+* :mod:`repro.analysis.static_oracle` -- a profile-free inlining policy
+  driven purely by the static call graph (the baseline the paper's
+  online system is measured against);
+* :mod:`repro.analysis.soundness` -- dynamic containment checking
+  (every executed dispatch edge must lie in the static CHA set) and
+  static-vs-profile attribution of decision-diff flips.
+
+:mod:`repro.analysis.report` bundles all of it behind the
+``repro analyze`` CLI as a versioned JSON report.
+"""
+
+from repro.analysis.callgraph import (CHA, PRECISIONS, RTA, CallSite,
+                                      StaticCallGraph, build_call_graph)
+from repro.analysis.report import (ANALYSIS_SCHEMA, analyze_benchmark,
+                                   analyze_program, bundle_reports,
+                                   render_analysis, render_bundle,
+                                   report_ok, write_report)
+from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
+                                      ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
+                                      SoundnessReport, SoundnessViolation,
+                                      attribute_flips, check_containment,
+                                      check_soundness, observe_dispatch_edges,
+                                      render_attribution)
+from repro.analysis.static_oracle import StaticOracle
+from repro.analysis.verifier import (VERIFIER_CODES, VerificationFailure,
+                                     VerificationReport, VerifierError,
+                                     verify_program)
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "ATTR_PROFILE_DECIDED",
+    "ATTR_STATIC_DECIDED",
+    "ATTR_UNKNOWN_SITE",
+    "CHA",
+    "CallSite",
+    "PRECISIONS",
+    "RTA",
+    "SoundnessReport",
+    "SoundnessViolation",
+    "StaticCallGraph",
+    "StaticOracle",
+    "VERIFIER_CODES",
+    "VerificationFailure",
+    "VerificationReport",
+    "VerifierError",
+    "analyze_benchmark",
+    "analyze_program",
+    "attribute_flips",
+    "build_call_graph",
+    "bundle_reports",
+    "check_containment",
+    "check_soundness",
+    "observe_dispatch_edges",
+    "render_analysis",
+    "render_attribution",
+    "render_bundle",
+    "report_ok",
+    "verify_program",
+    "write_report",
+]

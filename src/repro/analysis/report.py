@@ -1,0 +1,177 @@
+"""The ``repro analyze`` report: versioned JSON plus a human summary.
+
+One report bundles, per program: the verifier verdict (with every
+structured error), CHA and RTA call-graph statistics (reachability, dead
+methods, the monomorphism histogram), and -- unless disabled -- the
+dynamic soundness check proving the CHA target sets contain every
+dispatch edge a fixed-seed run executes.
+
+Versioning follows the provenance layer's policy: the payload carries
+``schema = "repro.analysis/v1"``; adding fields is backward compatible,
+renaming or removing them bumps the version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Sequence
+
+from repro.analysis.callgraph import CHA, RTA, build_call_graph
+from repro.analysis.soundness import check_containment, observe_dispatch_edges
+from repro.analysis.verifier import verify_program
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.program import Program
+
+#: Versioned schema identifier written into every analyze report.
+ANALYSIS_SCHEMA = "repro.analysis/v1"
+
+
+def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
+                    soundness: bool = True, phase: float = 0.0) \
+        -> Dict[str, object]:
+    """Full analysis of one program, as a JSON-ready dict.
+
+    The verifier always runs.  The call graphs and the soundness replay
+    only run when verification passes -- building a call graph over a
+    malformed program would crash on exactly the defects the verifier
+    just diagnosed.
+    """
+    verification = verify_program(program)
+    payload: Dict[str, object] = {
+        "program": program.name,
+        "verifier": {
+            "ok": verification.ok,
+            "methods_checked": verification.methods_checked,
+            "sites_checked": verification.sites_checked,
+            "errors": [dataclasses.asdict(e) for e in verification.errors],
+        },
+    }
+    if not verification.ok:
+        return payload
+
+    cha_graph = build_call_graph(program, precision=CHA, costs=costs)
+    rta_graph = build_call_graph(program, precision=RTA, costs=costs)
+    payload["callgraph"] = {CHA: cha_graph.summary(),
+                            RTA: rta_graph.summary()}
+
+    if soundness:
+        observed = observe_dispatch_edges(program, costs=costs, phase=phase)
+        report = check_containment(cha_graph, observed)
+        payload["soundness"] = {
+            "ok": report.ok,
+            "precision": report.precision,
+            "sites_observed": report.sites_observed,
+            "edges_observed": report.edges_observed,
+            "violations": [dataclasses.asdict(v)
+                           for v in report.violations],
+        }
+    return payload
+
+
+def analyze_benchmark(name: str, scale: float = 1.0,
+                      costs: CostModel = DEFAULT_COSTS,
+                      soundness: bool = True,
+                      phase: float = 0.0) -> Dict[str, object]:
+    """Build one Table-1 benchmark (seed-deterministic) and analyze it."""
+    from repro.workloads.spec import build_benchmark
+
+    generated = build_benchmark(name, scale=scale)
+    return analyze_program(generated.program, costs=costs,
+                           soundness=soundness, phase=phase)
+
+
+def report_ok(payload: Dict[str, object]) -> bool:
+    """True when one program's payload is verifier-clean and sound."""
+    verifier = payload.get("verifier", {})
+    if not verifier.get("ok", False):
+        return False
+    soundness = payload.get("soundness")
+    if soundness is not None and not soundness.get("ok", False):
+        return False
+    return True
+
+
+def bundle_reports(reports: Sequence[Dict[str, object]],
+                   scale: float = 1.0) -> Dict[str, object]:
+    """Wrap per-program payloads in the versioned top-level envelope."""
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "scale": scale,
+        "ok": all(report_ok(r) for r in reports),
+        "reports": list(reports),
+    }
+
+
+def write_report(path: str, bundle: Dict[str, object]) -> None:
+    """Atomically write a report bundle as JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def render_analysis(payload: Dict[str, object]) -> str:
+    """Human-readable summary of one program's analyze payload."""
+    lines: List[str] = [str(payload["program"])]
+    verifier = payload["verifier"]
+    if verifier["ok"]:
+        lines.append(f"  verifier : OK ({verifier['methods_checked']} "
+                     f"methods, {verifier['sites_checked']} call sites)")
+    else:
+        lines.append(f"  verifier : {len(verifier['errors'])} error(s)")
+        for error in verifier["errors"]:
+            where = error["method"] or "<program>"
+            if error["path"]:
+                where = f"{where}.{error['path']}"
+            lines.append(f"    {error['code']} @ {where}: "
+                         f"{error['message']}")
+        return "\n".join(lines)
+
+    for precision in (CHA, RTA):
+        stats = payload["callgraph"][precision]
+        histogram = ", ".join(
+            f"{k}->{v}" for k, v in stats["monomorphism_histogram"].items())
+        lines.append(
+            f"  {precision:<9}: {stats['methods_reachable']} reachable / "
+            f"{stats['methods_dead']} dead methods, "
+            f"{stats['dispatched_sites']} dispatched sites "
+            f"({stats['monomorphic_sites']} mono / "
+            f"{stats['polymorphic_sites']} poly; targets {histogram})")
+
+    soundness = payload.get("soundness")
+    if soundness is not None:
+        if soundness["ok"]:
+            lines.append(f"  soundness: CHA contains all "
+                         f"{soundness['edges_observed']} dynamic edges "
+                         f"over {soundness['sites_observed']} sites")
+        else:
+            lines.append(f"  soundness: {len(soundness['violations'])} "
+                         f"VIOLATION(S)")
+            for violation in soundness["violations"]:
+                lines.append(f"    site {violation['site']} in "
+                             f"{violation['caller']}: executed "
+                             f"{violation['observed']} outside "
+                             f"{violation['allowed']}")
+    return "\n".join(lines)
+
+
+def render_bundle(bundle: Dict[str, object]) -> str:
+    """Human-readable summary of a full analyze bundle."""
+    lines = [render_analysis(payload) for payload in bundle["reports"]]
+    verdict = "OK" if bundle["ok"] else "FAILED"
+    lines.append(f"analysis: {len(bundle['reports'])} program(s), "
+                 f"schema {bundle['schema']}: {verdict}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ANALYSIS_SCHEMA", "analyze_benchmark", "analyze_program",
+    "bundle_reports", "render_analysis", "render_bundle", "report_ok",
+    "write_report",
+]

@@ -1,0 +1,196 @@
+"""Dynamic soundness checking: static CHA sets must contain every
+observed dispatch edge.
+
+The static call graph is only useful if it *over-approximates* execution:
+a (site -> target) edge the machine actually dispatches that the CHA
+target set does not contain would mean the verifier, the static oracle,
+and every report built on the graph are reasoning about a different
+program than the one that runs.  This module replays a fixed-seed run
+with the machine's zero-cost ``dispatch_observer`` hook attached,
+collects every dynamically executed dispatch edge, and checks containment
+site by site.
+
+The same machinery feeds decision-diff *attribution*: a flip between two
+runs at a site the static graph proves monomorphic cannot be explained by
+profile evidence (both oracles see the same sole target -- the flip is a
+budget/ordering effect), while a flip at a statically polymorphic site is
+exactly where static and profile-directed inlining disagree.  ``repro
+decisions diff --attribute-static`` renders that classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.callgraph import CHA, StaticCallGraph, build_call_graph
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.program import Program
+from repro.provenance.diff import DecisionDiff, Flip
+
+#: Attribution buckets for decision-diff flips.
+ATTR_STATIC_DECIDED = "static-decided"    #: CHA-monomorphic site
+ATTR_PROFILE_DECIDED = "profile-decided"  #: CHA-polymorphic dispatch site
+ATTR_UNKNOWN_SITE = "unknown-site"        #: site absent from the graph
+
+
+@dataclass(frozen=True)
+class SoundnessViolation:
+    """One dynamically observed edge outside the static target set."""
+
+    site: int
+    caller: str
+    selector: str
+    observed: str                 #: dynamically executed target id
+    allowed: Tuple[str, ...]      #: the static target set at the site
+
+    def describe(self) -> str:
+        return (f"site {self.site} in {self.caller} ({self.selector}): "
+                f"executed {self.observed}, static set "
+                f"{{{', '.join(self.allowed) or ''}}}")
+
+
+@dataclass(frozen=True)
+class SoundnessReport:
+    """Outcome of one containment check (static graph vs one run)."""
+
+    program_name: str
+    precision: str
+    sites_observed: int           #: dispatch sites that executed
+    edges_observed: int           #: distinct (site, target) edges seen
+    violations: Tuple[SoundnessViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        head = (f"soundness {self.program_name} [{self.precision}]: "
+                f"{self.edges_observed} dynamic edges over "
+                f"{self.sites_observed} sites: ")
+        if self.ok:
+            return head + "contained"
+        lines = [head + f"{len(self.violations)} VIOLATION(S)"]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def observe_dispatch_edges(program: Program, policy=None,
+                           costs: CostModel = DEFAULT_COSTS,
+                           phase: float = 0.0) \
+        -> Dict[int, FrozenSet[str]]:
+    """Run the program once and collect every executed dispatch edge.
+
+    Runs the full adaptive system (the seed-deterministic fixed-phase run
+    the acceptance check calls for), with the machine's
+    ``dispatch_observer`` hook recording the resolved target of every
+    virtual/interface dispatch -- guarded, devirtualized, or plain.
+    Observation is pure instrumentation: it charges no cycles and changes
+    no decisions.
+    """
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    if policy is None:
+        policy = make_policy("cins", costs=costs)
+    runtime = AdaptiveRuntime(program, policy, costs, sample_phase=phase)
+    observed: Dict[int, set] = {}
+
+    def observer(site: int, target_id: str) -> None:
+        observed.setdefault(site, set()).add(target_id)
+
+    runtime.machine.dispatch_observer = observer
+    runtime.run()
+    return {site: frozenset(targets) for site, targets in observed.items()}
+
+
+def check_containment(graph: StaticCallGraph,
+                      observed: Dict[int, FrozenSet[str]]) \
+        -> SoundnessReport:
+    """Assert every observed (site -> target) edge is in the static set."""
+    violations: List[SoundnessViolation] = []
+    edges = 0
+    for site in sorted(observed):
+        targets = observed[site]
+        edges += len(targets)
+        allowed = graph.targets(site)
+        info = graph.sites.get(site)
+        for target in sorted(targets - allowed):
+            violations.append(SoundnessViolation(
+                site=site,
+                caller=info.caller if info is not None else "<unknown>",
+                selector=info.selector if info is not None else "<unknown>",
+                observed=target,
+                allowed=tuple(sorted(allowed))))
+    return SoundnessReport(
+        program_name=graph.program_name, precision=graph.precision,
+        sites_observed=len(observed), edges_observed=edges,
+        violations=tuple(violations))
+
+
+def check_soundness(program: Program,
+                    graph: Optional[StaticCallGraph] = None, policy=None,
+                    costs: CostModel = DEFAULT_COSTS,
+                    phase: float = 0.0) -> SoundnessReport:
+    """End-to-end check: build the CHA graph (unless given), replay a
+    fixed-seed run, and verify CHA target sets contain what executed."""
+    if graph is None:
+        graph = build_call_graph(program, precision=CHA, costs=costs)
+    observed = observe_dispatch_edges(program, policy=policy, costs=costs,
+                                      phase=phase)
+    return check_containment(graph, observed)
+
+
+# -- decision-diff attribution -------------------------------------------------
+
+
+def attribute_flips(diff: DecisionDiff, graph: StaticCallGraph) \
+        -> Dict[str, List[Flip]]:
+    """Classify diff flips by what the static call graph knows of the site.
+
+    A flip at a :data:`ATTR_STATIC_DECIDED` site (statically bound or
+    monomorphic) cannot come from profile evidence -- both runs' oracles
+    see the same sole target, so the divergence is a budget, ordering, or
+    tree-shape effect.  A flip at a :data:`ATTR_PROFILE_DECIDED` site
+    (statically polymorphic dispatch) is genuine static-vs-profile
+    disagreement: only profile data can pick targets there.
+    """
+    buckets: Dict[str, List[Flip]] = {
+        ATTR_STATIC_DECIDED: [], ATTR_PROFILE_DECIDED: [],
+        ATTR_UNKNOWN_SITE: []}
+    for flip in diff.flips:
+        _caller, site, _context = flip.key
+        info = graph.sites.get(site)
+        if info is None:
+            buckets[ATTR_UNKNOWN_SITE].append(flip)
+        elif info.dispatched and not info.monomorphic:
+            buckets[ATTR_PROFILE_DECIDED].append(flip)
+        else:
+            buckets[ATTR_STATIC_DECIDED].append(flip)
+    return buckets
+
+
+def render_attribution(buckets: Dict[str, List[Flip]],
+                       graph: StaticCallGraph,
+                       limit: Optional[int] = None) -> str:
+    """Human-readable static-vs-profile attribution section."""
+    total = sum(len(flips) for flips in buckets.values())
+    lines = [f"static attribution ({graph.precision} over "
+             f"{graph.program_name}): {total} flip(s)"]
+    titles = (
+        (ATTR_PROFILE_DECIDED,
+         "static-vs-profile disagreement (polymorphic in the static graph)"),
+        (ATTR_STATIC_DECIDED,
+         "statically decided (budget/ordering effects, not profile)"),
+        (ATTR_UNKNOWN_SITE, "sites unknown to the static graph"))
+    for key, title in titles:
+        flips = buckets.get(key, [])
+        if not flips:
+            continue
+        lines.append(f"  {title}: {len(flips)}")
+        shown = flips if limit is None else flips[:limit]
+        for flip in shown:
+            lines.append(f"    [{flip.kind}] {flip.describe()}")
+        if limit is not None and len(flips) > limit:
+            lines.append(f"    ... and {len(flips) - limit} more")
+    return "\n".join(lines)

@@ -59,7 +59,8 @@ class Controller:
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  state: AOSState, code_cache: CodeCache,
                  database: AOSDatabase, costs: CostModel,
-                 telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE):
+                 telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE,
+                 oracle_factory=None):
         self._program = program
         self._hierarchy = hierarchy
         self._state = state
@@ -68,6 +69,12 @@ class Controller:
         self._costs = costs
         self._telemetry = telemetry
         self._provenance = provenance
+        #: Optional hook replacing the stock :class:`InlineOracle` for
+        #: every compilation plan.  Called with the same keyword wiring
+        #: the stock oracle receives (refusal/CHA-dependency sinks,
+        #: telemetry, provenance); policies expose it as ``make_oracle``
+        #: so e.g. the static oracle rides the unmodified controller.
+        self._oracle_factory = oracle_factory
 
         self._hot_events: Dict[str, float] = {}
         self._missing_edge_events: Set[str] = set()
@@ -191,11 +198,18 @@ class Controller:
         state = self._state
         database = self._database
         self._last_plan_clock[method_id] = clock
-        oracle = InlineOracle(
-            self._program, self._hierarchy, self._costs, state.rules,
-            on_refusal=database.record_refusal, dcg=state.dcg,
-            on_cha_dependency=database.record_cha_dependency,
-            telemetry=self._telemetry, provenance=self._provenance)
+        if self._oracle_factory is not None:
+            oracle = self._oracle_factory(
+                self._program, self._hierarchy, self._costs,
+                on_refusal=database.record_refusal,
+                on_cha_dependency=database.record_cha_dependency,
+                telemetry=self._telemetry, provenance=self._provenance)
+        else:
+            oracle = InlineOracle(
+                self._program, self._hierarchy, self._costs, state.rules,
+                on_refusal=database.record_refusal, dcg=state.dcg,
+                on_cha_dependency=database.record_cha_dependency,
+                telemetry=self._telemetry, provenance=self._provenance)
         plan = CompilationPlan(
             method_id=method_id,
             oracle=oracle,

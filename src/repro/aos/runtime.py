@@ -126,10 +126,15 @@ class AdaptiveRuntime:
         self.ai_organizer = AIOrganizer(self.state, costs)
         self.hot_methods_organizer = HotMethodsOrganizer(self.state, costs)
         self.decay_organizer = DecayOrganizer(self.state, costs)
+        # A policy may supply its own per-compilation oracle (e.g. the
+        # static-oracle baseline) via a ``make_oracle`` hook; the stock
+        # policies have none and get the profile-directed InlineOracle.
         self.controller = Controller(program, self.hierarchy, self.state,
                                      self.code_cache, self.database, costs,
                                      telemetry=self.telemetry,
-                                     provenance=self.provenance)
+                                     provenance=self.provenance,
+                                     oracle_factory=getattr(
+                                         policy, "make_oracle", None))
         self.missing_edge_organizer = MissingEdgeOrganizer(
             self.state, self.code_cache, self.database, costs)
         self.compilation_thread = CompilationThread(

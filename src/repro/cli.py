@@ -30,7 +30,14 @@ Commands
     ``record`` a run's decision-provenance log as versioned JSONL, or
     ``diff`` two logs: align final decisions by (site, context), report
     flipped verdicts with their reason codes, and attribute run-level
-    cycle/code-space deltas to the flips.
+    cycle/code-space deltas to the flips.  ``diff --attribute-static``
+    additionally classifies each flip by what the static call graph
+    knows of its site (static-vs-profile disagreement vs budget effects).
+``analyze``
+    Static analysis over benchmarks: run the program verifier, build
+    CHA/RTA call graphs, check dynamic soundness (every executed
+    dispatch edge must lie in the static CHA target set), and emit a
+    versioned JSON report (``repro.analysis/v1``).
 """
 
 from __future__ import annotations
@@ -42,7 +49,8 @@ from typing import List, Optional, Sequence
 from repro.aos.cost_accounting import APP
 from repro.aos.runtime import AdaptiveRuntime
 from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
-                                      POLICY_FAMILIES, SweepConfig)
+                                      POLICY_FAMILIES, SWEEPABLE_FAMILIES,
+                                      SweepConfig)
 from repro.experiments.runner import (SweepResults, load_or_run_sweep,
                                       run_single)
 from repro.policies import POLICY_LABELS, make_policy
@@ -75,9 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--benchmarks", nargs="*", default=None,
                        choices=BENCHMARK_ORDER)
     sweep.add_argument("--families", nargs="*", default=None,
-                       choices=POLICY_FAMILIES,
+                       choices=SWEEPABLE_FAMILIES,
                        help="context-sensitive policy families to sweep "
-                            "(the cins baseline always runs)")
+                            "(the cins baseline always runs; 'static' is "
+                            "the no-profile static-oracle baseline)")
     sweep.add_argument("--depths", type=int, nargs="*", default=None)
     sweep.add_argument("--phases", type=float, nargs="*", default=None)
     sweep.add_argument("--jobs", type=int, default=0,
@@ -177,6 +186,30 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("log_b", help="second *.decisions.jsonl log")
     diff.add_argument("--limit", type=int, default=None,
                       help="show at most this many flips per section")
+    diff.add_argument("--attribute-static", action="store_true",
+                      help="classify each flip by the static call graph: "
+                           "static-vs-profile disagreement (polymorphic "
+                           "sites) vs budget/ordering effects (monomorphic "
+                           "sites); needs both logs from the same benchmark")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="verify benchmarks, build CHA/RTA call graphs, and check "
+             "dynamic soundness against the static graph")
+    analyze.add_argument("--benchmarks", nargs="*", default=None,
+                         choices=BENCHMARK_ORDER,
+                         help="benchmarks to analyze (default: all eight)")
+    analyze.add_argument("--scale", type=float, default=1.0,
+                         help="run-length scale factor")
+    analyze.add_argument("--phase", type=float, default=0.0,
+                         help="sampling phase for the soundness run")
+    analyze.add_argument("--soundness",
+                         action=argparse.BooleanOptionalAction, default=True,
+                         help="replay each benchmark and check that CHA "
+                              "contains every executed dispatch edge "
+                              "(--no-soundness skips the runs)")
+    analyze.add_argument("-o", "--out", default=None,
+                         help="also write the versioned JSON report here")
     return parser
 
 
@@ -373,7 +406,39 @@ def _cmd_decisions(args) -> int:
         print(f"cannot diff: {exc}", file=sys.stderr)
         return 1
     print(render_diff(diff, limit=args.limit))
+    if args.attribute_static:
+        from repro.analysis import (attribute_flips, build_call_graph,
+                                    render_attribution)
+        from repro.workloads.spec import build_benchmark
+
+        benchmark = diff.meta_a.get("benchmark")
+        if benchmark is None or benchmark != diff.meta_b.get("benchmark"):
+            print("cannot attribute: the two logs' headers do not name "
+                  "the same benchmark", file=sys.stderr)
+            return 1
+        scale = float(diff.meta_a.get("scale", 1.0))
+        generated = build_benchmark(benchmark, scale=scale)
+        graph = build_call_graph(generated.program)
+        print()
+        print(render_attribution(attribute_flips(diff, graph), graph,
+                                 limit=args.limit))
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (analyze_benchmark, bundle_reports,
+                                render_bundle, write_report)
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_ORDER
+    reports = [analyze_benchmark(name, scale=args.scale,
+                                 soundness=args.soundness, phase=args.phase)
+               for name in benchmarks]
+    bundle = bundle_reports(reports, scale=args.scale)
+    print(render_bundle(bundle))
+    if args.out:
+        write_report(args.out, bundle)
+        print(f"report -> {args.out}")
+    return 0 if bundle["ok"] else 1
 
 
 _COMMANDS = {
@@ -387,6 +452,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "explain": _cmd_explain,
     "decisions": _cmd_decisions,
+    "analyze": _cmd_analyze,
 }
 
 

@@ -58,17 +58,63 @@ def estimate_inlined_bytecodes(method: MethodDef, constant_args: int = 0) -> int
     return max(1, int(raw * factor))
 
 
+#: Classification cache bound; far above any realistic (methods x
+#: const-arg signatures x cost limits) working set, so in practice the
+#: cache never cycles -- the bound only protects pathological sweeps
+#: that churn through thousands of distinct cost models.
+_CLASSIFY_CACHE_LIMIT = 4096
+
+_classify_cache: dict = {}
+_classify_hits = 0
+_classify_misses = 0
+
+
 def classify(method: MethodDef, costs: CostModel,
              constant_args: int = 0) -> SizeClass:
-    """Classify a method into its inlining size category."""
+    """Classify a method into its inlining size category.
+
+    Memoized: the oracle re-classifies the same callee at every call
+    site, compilation, and recompilation, and the answer depends only on
+    the method (hashed by identity -- ``MethodDef`` bodies are frozen
+    after program construction), the constant-argument count, and the
+    three size limits.  ``CostModel`` itself is mutable and unhashable,
+    so the key carries the limits it contributes, not the model.
+    """
+    global _classify_hits, _classify_misses
+    key = (method, constant_args,
+           costs.tiny_limit, costs.small_limit, costs.medium_limit)
+    cached = _classify_cache.get(key)
+    if cached is not None:
+        _classify_hits += 1
+        return cached
+    _classify_misses += 1
     size = estimate_inlined_bytecodes(method, constant_args)
     if size < costs.tiny_limit:
-        return SizeClass.TINY
-    if size <= costs.small_limit:
-        return SizeClass.SMALL
-    if size <= costs.medium_limit:
-        return SizeClass.MEDIUM
-    return SizeClass.LARGE
+        result = SizeClass.TINY
+    elif size <= costs.small_limit:
+        result = SizeClass.SMALL
+    elif size <= costs.medium_limit:
+        result = SizeClass.MEDIUM
+    else:
+        result = SizeClass.LARGE
+    if len(_classify_cache) >= _CLASSIFY_CACHE_LIMIT:
+        _classify_cache.clear()
+    _classify_cache[key] = result
+    return result
+
+
+def classify_cache_info() -> dict:
+    """Hit/miss/size counters for the classification memo."""
+    return {"hits": _classify_hits, "misses": _classify_misses,
+            "size": len(_classify_cache)}
+
+
+def clear_classify_cache() -> None:
+    """Drop the classification memo and reset its counters (tests)."""
+    global _classify_hits, _classify_misses
+    _classify_cache.clear()
+    _classify_hits = 0
+    _classify_misses = 0
 
 
 def is_large(method: MethodDef, costs: CostModel) -> bool:

@@ -105,6 +105,13 @@ class Machine:
         #: loading); the adaptive runtime points this at CHA-dependency
         #: invalidation.
         self.class_load_handler: Optional[Callable[[str], None]] = None
+        #: Pure-instrumentation hook fired once per executed virtual or
+        #: interface dispatch with ``(site, target_method_id)`` -- the
+        #: target that actually ran, whether reached through a guard, a
+        #: devirtualized direct inline, or a plain dispatch.  Charges no
+        #: cycles and must not mutate machine state; the soundness
+        #: checker uses it to collect dynamic call-graph edges.
+        self.dispatch_observer: Optional[Callable[[int, str], None]] = None
 
     # -- cost charging -----------------------------------------------------
 
@@ -327,9 +334,12 @@ class Machine:
         call_args = (receiver,) + tuple(
             self._eval(a, args, locals_) for a in stmt.args)
         decision = node.decisions.get(stmt.site) if node is not None else None
+        observer = self.dispatch_observer
         if decision is not None:
             if decision.kind == GUARDED:
                 resolved = self.hierarchy.resolve(receiver.klass, stmt.selector)
+                if observer is not None:
+                    observer(stmt.site, resolved.id)
                 for option in decision.options:
                     self.stats.guard_tests += 1
                     self._charge_app(costs.guard_test * mult)
@@ -343,9 +353,13 @@ class Machine:
                 return self._invoke(resolved, call_args, stmt.site)
             # DIRECT: statically bound by CHA, no guard executed.
             option = decision.sole
+            if observer is not None:
+                observer(stmt.site, option.target.id)
             return self._enter_inlined(
                 option.target, call_args, stmt.site, option.node)
         resolved = self.hierarchy.resolve(receiver.klass, stmt.selector)
+        if observer is not None:
+            observer(stmt.site, resolved.id)
         self.stats.dispatches += 1
         self._charge_app(dispatch_cost * mult)
         return self._invoke(resolved, call_args, stmt.site)

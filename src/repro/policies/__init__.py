@@ -9,12 +9,13 @@ from repro.policies.catalog import (ClassMethods, ContextInsensitive,
                                     FixedLevel, LargeMethods,
                                     ParameterlessClassMethods,
                                     ParameterlessLargeMethods,
-                                    ParameterlessMethods)
+                                    ParameterlessMethods, StaticOraclePolicy)
 from repro.policies.imprecision import ImprecisionDriven
 
-#: Figure labels -> policy families, matching the paper's x-axes.
+#: Figure labels -> policy families, matching the paper's x-axes, plus
+#: the ``static`` no-profile baseline (not a paper figure family).
 POLICY_LABELS = ("cins", "fixed", "paramLess", "class", "large", "hybrid1",
-                 "hybrid2", "imprecision")
+                 "hybrid2", "imprecision", "static")
 
 
 def make_policy(label: str, max_depth: int = 1,
@@ -40,6 +41,9 @@ def make_policy(label: str, max_depth: int = 1,
         return ParameterlessLargeMethods(max_depth, costs)
     if label == "imprecision":
         return ImprecisionDriven(max_depth)
+    if label == "static":
+        # Depth-1 by construction (the profile is gathered but unused).
+        return StaticOraclePolicy(costs=costs)
     raise ConfigError(f"unknown policy label {label!r}; "
                       f"expected one of {POLICY_LABELS}")
 
@@ -48,5 +52,5 @@ __all__ = [
     "ClassMethods", "ContextInsensitive", "ContextSensitivityPolicy",
     "FixedLevel", "ImprecisionDriven", "LargeMethods", "POLICY_LABELS",
     "ParameterlessClassMethods", "ParameterlessLargeMethods",
-    "ParameterlessMethods", "make_policy",
+    "ParameterlessMethods", "StaticOraclePolicy", "make_policy",
 ]

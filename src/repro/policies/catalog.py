@@ -16,6 +16,8 @@ policies; ``cins`` is exactly depth 1).
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.compiler.size_estimator import is_large
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.jvm.program import MethodDef
@@ -114,3 +116,49 @@ class ParameterlessLargeMethods(ContextSensitivityPolicy):
 
     def stop_at(self, caller: MethodDef) -> bool:
         return is_large(caller, self._costs)
+
+
+class StaticOraclePolicy(ContextSensitivityPolicy):
+    """The static-oracle baseline: all inlining decided offline.
+
+    Not a paper policy -- the no-profile counterfactual the paper's
+    online system is compared against.  Trace collection is pinned to
+    depth 1 (like ``cins``) to keep listener overhead minimal and
+    comparable; the profile it gathers is *never consulted*, because
+    :meth:`make_oracle` replaces the profile-directed oracle with a
+    :class:`~repro.analysis.static_oracle.StaticOracle` driven by a
+    whole-program static call graph built once per program.
+    """
+
+    label = "static"
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS,
+                 precision: str = "rta"):
+        super().__init__(max_depth=1)
+        self._costs = costs
+        self._precision = precision
+        # One static call graph per program, built lazily on the first
+        # compilation plan and shared by every oracle for that program.
+        self._graphs: Dict[int, object] = {}
+
+    def make_oracle(self, program, hierarchy, costs, *, on_refusal=None,
+                    on_cha_dependency=None, telemetry=None, provenance=None):
+        """Controller hook: build a :class:`StaticOracle` for one plan."""
+        # Imported lazily: repro.analysis sits above the policy layer,
+        # and only this one policy reaches up into it.
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.static_oracle import StaticOracle
+        from repro.provenance.recorder import NULL_PROVENANCE
+        from repro.telemetry.recorder import NULL_RECORDER
+
+        graph = self._graphs.get(id(program))
+        if graph is None:
+            graph = build_call_graph(program, hierarchy=hierarchy,
+                                     precision=self._precision, costs=costs)
+            self._graphs[id(program)] = graph
+        return StaticOracle(
+            program, hierarchy, costs, graph, on_refusal=on_refusal,
+            on_cha_dependency=on_cha_dependency,
+            telemetry=telemetry if telemetry is not None else NULL_RECORDER,
+            provenance=(provenance if provenance is not None
+                        else NULL_PROVENANCE))

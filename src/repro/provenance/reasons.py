@@ -45,6 +45,9 @@ class ReasonCode(enum.Enum):
     #: Guarded inline of the profile's predicted target set (Equation 3
     #: partial match + intersection of target sets).
     PROFILE = "profile"
+    #: Static-oracle only: a bound callee past the normal limits, forced
+    #: by the static call graph's frequency estimate (no profile input).
+    STATIC_HOT = "static-hot"
 
     # -- refusals -------------------------------------------------------------
     #: Callee is the compilation root or already on the inline chain.
@@ -65,6 +68,12 @@ class ReasonCode(enum.Enum):
     #: Chosen targets cover too little of the site's context-applicable
     #: dispatch weight (the skewed-receiver requirement).
     UNSKEWED = "unskewed"
+    #: Static-oracle only: the static call graph sees multiple targets at
+    #: this site and there is no profile to discriminate between them.
+    STATIC_POLY = "static-poly"
+    #: Static-oracle only: a bound medium callee whose static frequency
+    #: estimate is below the hotness threshold.
+    STATIC_COLD = "static-cold"
 
 
 #: Every legal reason string, for validation and for the DESIGN.md table.
@@ -73,7 +82,8 @@ REASON_CODES: FrozenSet[str] = frozenset(code.value for code in ReasonCode)
 #: Reason codes that accompany an *inline* verdict.
 INLINE_REASONS: FrozenSet[str] = frozenset((
     ReasonCode.TINY.value, ReasonCode.SMALL.value, ReasonCode.SMALL_HOT.value,
-    ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value))
+    ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value,
+    ReasonCode.STATIC_HOT.value))
 
 #: Reason codes that accompany a *refused* verdict.
 REFUSAL_REASONS: FrozenSet[str] = REASON_CODES - INLINE_REASONS

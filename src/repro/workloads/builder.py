@@ -10,11 +10,19 @@ are written against this API.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.jvm.errors import ProgramError
 from repro.jvm.program import (ClassDef, Expr, InterfaceCall, MethodDef,
                                Program, StaticCall, Stmt, VirtualCall)
+
+#: When true, every :meth:`ProgramBuilder.build` additionally runs the
+#: full :mod:`repro.analysis.verifier` pass and raises on any finding.
+#: Off by default (production builds pay only ``Program.validate``); the
+#: test suite turns it on globally, and ``REPRO_VERIFY_BUILDS=1`` turns
+#: it on for ad-hoc runs.
+VERIFY_BUILDS = os.environ.get("REPRO_VERIFY_BUILDS", "0") not in ("", "0")
 
 
 class ProgramBuilder:
@@ -94,9 +102,21 @@ class ProgramBuilder:
     def entry(self, method_id: str) -> None:
         self._program.set_entry(method_id)
 
-    def build(self) -> Program:
-        """Validate and return the finished program."""
+    def build(self, verify: Optional[bool] = None) -> Program:
+        """Validate and return the finished program.
+
+        ``verify=True`` (or the module-level :data:`VERIFY_BUILDS` debug
+        gate, when ``verify`` is left unset) additionally runs the full
+        analysis-layer verifier and raises
+        :class:`repro.analysis.verifier.VerificationFailure` with every
+        structured finding if the program is malformed.
+        """
         self._program.validate()
+        if verify if verify is not None else VERIFY_BUILDS:
+            # Lazy import: the workloads layer must not depend on the
+            # analysis layer except behind this debug gate.
+            from repro.analysis.verifier import verify_program
+            verify_program(self._program).raise_if_failed()
         return self._program
 
     @property

@@ -391,9 +391,21 @@ class _Generator:
         for d in range(spec.drivers):
             body: List = [Work(spec.driver_work)]
             for target_id in routed[d]:
-                body.append(StaticCall(b.site(), target_id, [Arg(0)], dst=1))
+                body.append(StaticCall(b.site(), target_id,
+                                       self._routed_args(target_id), dst=1))
             body.append(Return(Const(d)))
             b.static_method("Drv", f"t{d}", body, params=1, locals_=4)
+
+    def _routed_args(self, target_id: str) -> List:
+        """Arguments for a routed call, matching the target's declared arity.
+
+        Most routed targets (helper chains, pattern wrappers, large
+        interposers) take the transaction index; the control-dependent
+        entry points (``ct*``/``cf*``) are parameterless.
+        """
+        if self.b.program.method(target_id).num_params == 0:
+            return []
+        return [Arg(0)]
 
     def _route_through_large(self) -> List[List]:
         """Interpose large methods: driver -> L -> pattern callers.
@@ -413,7 +425,8 @@ class _Generator:
             inner: List = [Work(spec.large_work)]
             for d in members:
                 for target_id in self.driver_calls[d]:
-                    inner.append(StaticCall(b.site(), target_id, [Arg(0)],
+                    inner.append(StaticCall(b.site(), target_id,
+                                            self._routed_args(target_id),
                                             dst=1))
             inner.append(Return(Const(0)))
             large = b.static_method("Big", f"L{l_index}", inner, params=1,

@@ -1,0 +1,176 @@
+"""Unit tests for the static call-graph builder (CHA/RTA)."""
+
+import pytest
+
+from conftest import build_diamond_program
+from repro.analysis.callgraph import (CHA, DEFAULT_LOOP_TRIPS, LOOP_TRIP_CAP,
+                                      RTA, build_call_graph)
+from repro.jvm.program import (Const, Local, Loop, New, Return, StaticCall,
+                               VirtualCall, Work)
+from repro.workloads.builder import ProgramBuilder
+
+
+def build_partial_alloc_program():
+    """Three implementations of ``ping``, but only class A is allocated.
+
+    CHA must report all three targets at the dispatch site; RTA must
+    narrow it to ``A.ping``.  Class ``C.dead`` is never called.
+    """
+    b = ProgramBuilder("partial")
+    b.cls("Base")
+    b.cls("A", superclass="Base")
+    b.cls("B", superclass="Base")
+    b.cls("C")
+    b.cls("Main")
+    b.method("A", "ping", [Work(3), Return(Const(1))], params=1)
+    b.method("B", "ping", [Work(3), Return(Const(2))], params=1)
+    b.method("Base", "ping", [Work(3), Return(Const(0))], params=1)
+    b.method("C", "dead", [Return(Const(9))], params=0, static=True)
+
+    ping_site = b.site()
+    b.static_method("Main", "main", [
+        New(0, "A"),
+        Loop(Const(4), 1, [
+            VirtualCall(ping_site, "ping", Local(0), dst=2),
+        ]),
+        Return(Local(2)),
+    ], locals_=4)
+    b.entry("Main.main")
+    return b.build(), ping_site
+
+
+class TestPrecision:
+    def test_cha_sees_every_implementation(self):
+        program, site = build_partial_alloc_program()
+        graph = build_call_graph(program, precision=CHA)
+        assert graph.targets(site) == {"A.ping", "B.ping", "Base.ping"}
+        assert not graph.is_monomorphic(site)
+
+    def test_rta_narrows_to_instantiated_classes(self):
+        program, site = build_partial_alloc_program()
+        graph = build_call_graph(program, precision=RTA)
+        assert graph.targets(site) == {"A.ping"}
+        assert graph.is_monomorphic(site)
+        assert graph.instantiated == {"A"}
+
+    def test_rta_subset_of_cha_per_site(self):
+        program, _site = build_partial_alloc_program()
+        cha = build_call_graph(program, precision=CHA)
+        rta = build_call_graph(program, precision=RTA)
+        for site in cha.sites:
+            assert rta.targets(site) <= cha.targets(site)
+
+    def test_unknown_precision_rejected(self):
+        program, _site = build_partial_alloc_program()
+        with pytest.raises(ValueError):
+            build_call_graph(program, precision="magic")
+
+    def test_unknown_site_has_empty_targets(self):
+        program, _site = build_partial_alloc_program()
+        graph = build_call_graph(program)
+        assert graph.targets(99999) == frozenset()
+
+
+class TestReachability:
+    def test_dead_method_reported(self):
+        program, _site = build_partial_alloc_program()
+        graph = build_call_graph(program, precision=RTA)
+        assert "C.dead" in graph.dead_methods()
+        assert "Main.main" in graph.reachable
+        assert "A.ping" in graph.reachable
+
+    def test_rta_excludes_unallocated_overrides_from_reachable(self):
+        program, _site = build_partial_alloc_program()
+        rta = build_call_graph(program, precision=RTA)
+        cha = build_call_graph(program, precision=CHA)
+        assert "B.ping" not in rta.reachable
+        assert "B.ping" in cha.reachable
+
+    def test_diamond_reachability_by_precision(self):
+        program, _sites = build_diamond_program()
+        # A and B both override ping and both are allocated, so under RTA
+        # the Base.ping default body is provably never executed.
+        rta = build_call_graph(program, precision=RTA)
+        assert rta.dead_methods() == ["Base.ping"]
+        cha = build_call_graph(program, precision=CHA)
+        assert cha.dead_methods() == []
+
+
+class TestFrequencies:
+    def test_loop_multiplies_site_frequency(self):
+        program, sites = build_diamond_program(iterations=10)
+        graph = build_call_graph(program)
+        # Main.run is called from inside a 10-trip loop; each dispatch
+        # inside run inherits that frequency.
+        loop_freq = graph.sites[sites["loop"]].frequency
+        ping_freq = graph.sites[sites["ping_a"]].frequency
+        assert loop_freq == pytest.approx(10.0)
+        assert ping_freq == pytest.approx(loop_freq)
+
+    def test_constant_trips_clamped(self):
+        b = ProgramBuilder("clamp")
+        b.cls("Main")
+        site = b.site()
+        b.method("Main", "h", [Work(1), Return(Const(0))], params=0,
+                 static=True)
+        b.static_method("Main", "main", [
+            Loop(Const(100_000), 0, [StaticCall(site, "Main.h", dst=1)]),
+            Return(Const(0)),
+        ], locals_=4)
+        b.entry("Main.main")
+        graph = build_call_graph(b.build())
+        assert graph.sites[site].frequency == pytest.approx(LOOP_TRIP_CAP)
+
+    def test_non_constant_trips_use_default(self):
+        b = ProgramBuilder("dynloop")
+        b.cls("Main")
+        site = b.site()
+        b.method("Main", "h", [Work(1), Return(Const(0))], params=0,
+                 static=True)
+        b.static_method("Main", "main", [
+            Loop(Local(0), 1, [StaticCall(site, "Main.h", dst=2)]),
+            Return(Const(0)),
+        ], locals_=4)
+        b.entry("Main.main")
+        graph = build_call_graph(b.build())
+        assert graph.sites[site].frequency == pytest.approx(
+            DEFAULT_LOOP_TRIPS)
+
+    def test_virtual_frequency_split_over_targets(self):
+        program, site = build_partial_alloc_program()
+        cha = build_call_graph(program, precision=CHA)
+        # 4 loop trips split evenly over 3 CHA targets.
+        assert cha.method_frequency["A.ping"] == pytest.approx(4.0 / 3.0)
+        rta = build_call_graph(program, precision=RTA)
+        assert rta.method_frequency["A.ping"] == pytest.approx(4.0)
+
+    def test_site_weight_normalized(self):
+        program, _sites = build_diamond_program()
+        graph = build_call_graph(program)
+        weights = [graph.site_weight(s) for s in graph.sites]
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w >= 0.0 for w in weights)
+
+
+class TestSummaries:
+    def test_histogram_and_summary_consistent(self):
+        program, _site = build_partial_alloc_program()
+        graph = build_call_graph(program, precision=CHA)
+        histogram = graph.monomorphism_histogram()
+        assert histogram == {3: 1}
+        summary = graph.summary()
+        assert summary["dispatched_sites"] == 1
+        assert summary["polymorphic_sites"] == 1
+        assert summary["monomorphic_sites"] == 0
+        assert summary["monomorphism_histogram"] == {"3": 1}
+
+    @pytest.mark.parametrize("name", ["compress", "jess", "mtrt"])
+    def test_rta_subset_of_cha_on_benchmarks(self, name):
+        from repro.workloads.spec import build_benchmark
+        program = build_benchmark(name, scale=0.05).program
+        cha = build_call_graph(program, precision=CHA)
+        rta = build_call_graph(program, precision=RTA)
+        assert set(rta.sites) <= set(cha.sites)
+        for site in rta.sites:
+            assert rta.targets(site) <= cha.targets(site)
+        assert rta.reachable <= cha.reachable

@@ -168,6 +168,74 @@ class TestDecisionsCommand:
         assert "cannot diff" in capsys.readouterr().err
 
 
+class TestAnalyzeCommand:
+    def test_analyze_clean_benchmarks(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "analysis.json")
+        code = main(["analyze", "--benchmarks", "compress", "db",
+                     "--scale", "0.05", "-o", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verifier : OK" in out
+        assert "soundness" in out
+        assert "analysis: 2 program(s)" in out
+        assert ": OK" in out
+
+        with open(out_path) as handle:
+            bundle = json.load(handle)
+        assert bundle["schema"] == "repro.analysis/v1"
+        assert bundle["ok"] is True
+        assert len(bundle["reports"]) == 2
+        for report in bundle["reports"]:
+            assert report["verifier"]["ok"]
+            assert report["soundness"]["ok"]
+            assert set(report["callgraph"]) == {"cha", "rta"}
+
+    def test_analyze_no_soundness_skips_replay(self, capsys):
+        code = main(["analyze", "--benchmarks", "compress",
+                     "--scale", "0.05", "--no-soundness"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verifier : OK" in out
+        assert "soundness" not in out
+
+    def test_analyze_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--benchmarks", "quake"])
+
+
+class TestAttributeStatic:
+    def test_diff_with_static_attribution(self, tmp_path, capsys):
+        log_a = str(tmp_path / "fixed4.decisions.jsonl")
+        log_b = str(tmp_path / "cins.decisions.jsonl")
+        assert main(["decisions", "record", "db", "--policy", "fixed",
+                     "--depth", "4", "--scale", "0.05", "-o", log_a]) == 0
+        assert main(["decisions", "record", "db", "--policy", "cins",
+                     "--scale", "0.05", "-o", log_b]) == 0
+        capsys.readouterr()
+
+        assert main(["decisions", "diff", log_a, log_b,
+                     "--attribute-static"]) == 0
+        out = capsys.readouterr().out
+        assert "static attribution" in out
+        assert "flip(s)" in out
+
+    def test_attribution_requires_matching_benchmarks(self, tmp_path,
+                                                      capsys):
+        log_a = str(tmp_path / "db.decisions.jsonl")
+        log_b = str(tmp_path / "jess.decisions.jsonl")
+        assert main(["decisions", "record", "db", "--policy", "cins",
+                     "--scale", "0.05", "-o", log_a]) == 0
+        assert main(["decisions", "record", "jess", "--policy", "cins",
+                     "--scale", "0.05", "-o", log_b]) == 0
+        capsys.readouterr()
+
+        assert main(["decisions", "diff", log_a, log_b,
+                     "--attribute-static"]) == 1
+        assert "cannot attribute" in capsys.readouterr().err
+
+
 class TestSweepDecisionLogs:
     def test_sweep_flag_writes_logs(self, tmp_path, capsys):
         cache = str(tmp_path / "sweep.json")

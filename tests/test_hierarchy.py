@@ -88,6 +88,42 @@ class TestSubclasses:
             hierarchy.subclasses("Ghost")
 
 
+class TestLoadedTargets:
+    def test_no_loaded_classes_no_targets(self, hierarchy):
+        assert hierarchy.loaded_count == 0
+        assert hierarchy.loaded_targets("ping") == frozenset()
+        assert hierarchy.sole_loaded_target("ping") is None
+
+    def test_resolution_through_multi_level_chain(self, hierarchy):
+        # Leaf defines neither ping nor solo; loading it must surface the
+        # inherited implementations, walking two superclass links for solo.
+        hierarchy.mark_loaded("Leaf")
+        assert hierarchy.loaded_targets("ping") == {"Mid.ping"}
+        assert hierarchy.loaded_targets("solo") == {"Base.solo"}
+        assert hierarchy.sole_loaded_target("ping").id == "Mid.ping"
+
+    def test_mark_loaded_invalidates_target_cache(self, hierarchy):
+        hierarchy.mark_loaded("Mid")
+        assert hierarchy.loaded_targets("ping") == {"Mid.ping"}
+        # A second load must not serve the now-stale cached answer.
+        assert hierarchy.mark_loaded("Other")
+        assert hierarchy.loaded_targets("ping") == {"Mid.ping", "Other.ping"}
+        assert hierarchy.sole_loaded_target("ping") is None
+
+    def test_reload_is_a_noop(self, hierarchy):
+        assert hierarchy.mark_loaded("Mid")
+        assert not hierarchy.mark_loaded("Mid")
+        assert hierarchy.loaded_count == 1
+
+    def test_loading_unknown_class_raises(self, hierarchy):
+        with pytest.raises(ProgramError):
+            hierarchy.mark_loaded("Ghost")
+
+    def test_selector_not_understood_is_skipped(self, hierarchy):
+        hierarchy.mark_loaded("Other")
+        assert hierarchy.loaded_targets("solo") == frozenset()
+
+
 class TestOverriders:
     def test_override_found(self, hierarchy):
         base_ping = hierarchy.resolve("Base", "ping")

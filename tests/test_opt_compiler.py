@@ -8,8 +8,8 @@ from repro.compiler.opt_compiler import OptCompiler, iter_call_sites
 from repro.compiler.oracle import InlineOracle
 from repro.jvm.costs import CostModel
 from repro.jvm.hierarchy import ClassHierarchy
-from repro.jvm.program import (Arg, Const, If, Loop, Return, StaticCall,
-                               VirtualCall, Work)
+from repro.jvm.program import (Arg, Const, If, Local, Loop, Return,
+                               StaticCall, VirtualCall, Work)
 from repro.profiles.trace import InlineRule, TraceKey
 from repro.workloads.builder import ProgramBuilder
 
@@ -45,7 +45,13 @@ def build_chain_program():
         StaticCall(mid_site, "C.mid", [Arg(0)], dst=0),
         Return(Const(0)),
     ], params=1, static=True)
-    b.entry("C.root")
+    # The tests compile C.root directly; the entry only needs to make the
+    # program well-formed (a runnable entry takes no parameters).
+    b.method("C", "main", [
+        StaticCall(103, "C.root", [Const(0)], dst=0),
+        Return(Local(0)),
+    ], params=0, static=True)
+    b.entry("C.main")
     program = b.build()
     return program, {"leaf": leaf_site, "poly": poly_site, "mid": mid_site}
 

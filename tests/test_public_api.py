@@ -47,6 +47,7 @@ class TestQuickstartContract:
 
     def test_policy_labels_stable(self):
         # Downstream users key on these labels; renaming breaks them.
+        # (Additions go at the end: "static" is the no-profile baseline.)
         assert repro.POLICY_LABELS == (
             "cins", "fixed", "paramLess", "class", "large", "hybrid1",
-            "hybrid2", "imprecision")
+            "hybrid2", "imprecision", "static")

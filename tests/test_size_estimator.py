@@ -4,7 +4,9 @@ import pytest
 
 from repro.compiler.size_estimator import (CONST_ARG_DISCOUNT,
                                            MIN_ESTIMATE_FRACTION, SizeClass,
-                                           classify, count_constant_args,
+                                           classify, classify_cache_info,
+                                           clear_classify_cache,
+                                           count_constant_args,
                                            estimate_inlined_bytecodes,
                                            is_large)
 from repro.jvm.costs import CostModel
@@ -78,6 +80,30 @@ class TestConstantArgDiscount:
         m = method_of_size(size)
         assert classify(m, costs, 0) is SizeClass.LARGE
         assert classify(m, costs, 2) is SizeClass.MEDIUM
+
+
+class TestClassifyMemoization:
+    def test_repeat_lookup_hits_cache(self, costs):
+        clear_classify_cache()
+        m = method_of_size(100)
+        first = classify(m, costs, 0)
+        assert classify_cache_info()["misses"] >= 1
+        hits_before = classify_cache_info()["hits"]
+        assert classify(m, costs, 0) is first
+        assert classify_cache_info()["hits"] == hits_before + 1
+
+    def test_distinct_const_args_are_distinct_entries(self, costs):
+        clear_classify_cache()
+        m = method_of_size(costs.medium_limit + 4)
+        assert classify(m, costs, 0) is SizeClass.LARGE
+        assert classify(m, costs, 2) is SizeClass.MEDIUM
+        assert classify_cache_info()["size"] == 2
+
+    def test_clear_resets_counters(self, costs):
+        classify(method_of_size(10), costs)
+        clear_classify_cache()
+        info = classify_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0}
 
 
 class TestCountConstantArgs:

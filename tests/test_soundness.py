@@ -1,0 +1,120 @@
+"""Tests for dynamic soundness checking and static flip attribution."""
+
+import pytest
+
+from repro.analysis.callgraph import CHA, build_call_graph
+from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
+                                      ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
+                                      attribute_flips, check_containment,
+                                      check_soundness,
+                                      observe_dispatch_edges,
+                                      render_attribution)
+from repro.aos.runtime import AdaptiveRuntime
+from repro.policies import make_policy
+from repro.provenance.diff import FLIP_VERDICT, DecisionDiff, Flip
+from repro.provenance.records import DecisionRecord
+
+
+class TestObserver:
+    def test_records_dispatch_edges(self, diamond):
+        program, sites = diamond
+        observed = observe_dispatch_edges(program)
+        assert observed[sites["ping_a"]] == frozenset({"A.ping"})
+        assert observed[sites["ping_b"]] == frozenset({"B.ping"})
+        # Static calls never reach the dispatch observer.
+        assert sites["loop"] not in observed
+
+    def test_observer_is_zero_overhead(self, diamond):
+        program, _sites = diamond
+        baseline = AdaptiveRuntime(program, make_policy("cins")).run()
+        runtime = AdaptiveRuntime(program, make_policy("cins"))
+        runtime.machine.dispatch_observer = lambda site, target: None
+        observed = runtime.run()
+        assert observed.total_cycles == baseline.total_cycles
+        assert observed.opt_code_bytes == baseline.opt_code_bytes
+
+
+class TestContainment:
+    def test_diamond_is_sound(self, diamond):
+        program, _sites = diamond
+        report = check_soundness(program)
+        assert report.ok
+        assert report.precision == CHA
+        assert report.sites_observed >= 2
+        assert "contained" in report.render()
+
+    def test_foreign_edge_is_a_violation(self, diamond):
+        program, sites = diamond
+        graph = build_call_graph(program, precision=CHA)
+        doctored = {sites["ping_a"]: frozenset({"Ghost.ping"})}
+        report = check_containment(graph, doctored)
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation.observed == "Ghost.ping"
+        assert "A.ping" in violation.allowed
+        assert "VIOLATION" in report.render()
+        assert "Ghost.ping" in violation.describe()
+
+    def test_unknown_site_reported_with_empty_allowed(self, diamond):
+        program, _sites = diamond
+        graph = build_call_graph(program, precision=CHA)
+        report = check_containment(graph, {999: frozenset({"A.ping"})})
+        assert not report.ok
+        assert report.violations[0].caller == "<unknown>"
+        assert report.violations[0].allowed == ()
+
+    @pytest.mark.parametrize("name", ["compress", "db", "mtrt"])
+    def test_benchmarks_are_sound(self, name):
+        from repro.workloads.spec import build_benchmark
+        program = build_benchmark(name, scale=0.05).program
+        report = check_soundness(program)
+        assert report.ok, report.render()
+
+
+def _record(caller, site, context, verdict="direct", reason="tiny"):
+    return DecisionRecord(
+        clock=0.0, root=caller, version=1, caller=caller, site=site,
+        depth=0, site_kind="virtual", selector="ping", verdict=verdict,
+        reason=reason, context=context)
+
+
+def _flip(caller, site):
+    context = ((caller, site),)
+    return Flip(key=(caller, site, context), kind=FLIP_VERDICT,
+                a=_record(caller, site, context),
+                b=_record(caller, site, context, verdict="refused",
+                          reason="static-poly"))
+
+
+class TestAttribution:
+    def test_flips_bucketed_by_static_knowledge(self, diamond):
+        program, sites = diamond
+        graph = build_call_graph(program, precision=CHA)
+        diff = DecisionDiff(flips=[
+            _flip("Main.run", sites["ping_a"]),   # CHA-polymorphic
+            _flip("Main.main", sites["loop"]),    # static call, bound
+            _flip("Main.run", 424242),            # not in the graph
+        ])
+        buckets = attribute_flips(diff, graph)
+        assert [f.key[1] for f in buckets[ATTR_PROFILE_DECIDED]] == \
+            [sites["ping_a"]]
+        assert [f.key[1] for f in buckets[ATTR_STATIC_DECIDED]] == \
+            [sites["loop"]]
+        assert [f.key[1] for f in buckets[ATTR_UNKNOWN_SITE]] == [424242]
+
+    def test_render_attribution_mentions_each_bucket(self, diamond):
+        program, sites = diamond
+        graph = build_call_graph(program, precision=CHA)
+        diff = DecisionDiff(flips=[_flip("Main.run", sites["ping_a"])])
+        text = render_attribution(attribute_flips(diff, graph), graph)
+        assert "1 flip(s)" in text
+        assert "static-vs-profile disagreement" in text
+
+    def test_render_attribution_respects_limit(self, diamond):
+        program, sites = diamond
+        graph = build_call_graph(program, precision=CHA)
+        flips = [_flip("Main.run", sites["ping_a"]) for _ in range(5)]
+        text = render_attribution(
+            attribute_flips(DecisionDiff(flips=flips), graph), graph,
+            limit=2)
+        assert "... and 3 more" in text
