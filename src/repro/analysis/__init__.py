@@ -1,6 +1,6 @@
 """Static analysis over mini-JVM programs.
 
-Four coordinated pieces, layered strictly *above* the JVM/compiler
+Six coordinated pieces, layered strictly *above* the JVM/compiler
 layers (nothing in :mod:`repro.jvm` or :mod:`repro.compiler` imports
 this package):
 
@@ -8,12 +8,20 @@ this package):
   with machine-readable :class:`VerifierError` diagnostics;
 * :mod:`repro.analysis.callgraph` -- whole-program static call graphs at
   CHA and RTA precision, with static frequency estimates;
-* :mod:`repro.analysis.static_oracle` -- a profile-free inlining policy
-  driven purely by the static call graph (the baseline the paper's
-  online system is measured against);
+* :mod:`repro.analysis.kcfa` -- context-sensitive call graphs keyed by
+  k-bounded call strings (0-CFA refines RTA; each k refines k-1), with
+  per-context frequency estimates;
+* :mod:`repro.analysis.lattice` -- the precision-lattice report:
+  per-site target-set sizes across ``CHA ⊇ RTA ⊇ 0CFA ⊇ kCFA ⊇
+  observed``, context-rescued sites, and per-tier majority-prediction
+  scores against the fixed-seed dynamic CCT;
+* :mod:`repro.analysis.static_oracle` -- profile-free inlining policies
+  driven purely by the static graphs (the baselines the paper's online
+  system is measured against), flat and context-sensitive;
 * :mod:`repro.analysis.soundness` -- dynamic containment checking
-  (every executed dispatch edge must lie in the static CHA set) and
-  static-vs-profile attribution of decision-diff flips.
+  (every executed dispatch edge must lie in each tier's target set,
+  context-conditioned for the k-CFA tiers) and static-vs-profile
+  attribution of decision-diff flips.
 
 :mod:`repro.analysis.report` bundles all of it behind the
 ``repro analyze`` CLI as a versioned JSON report.
@@ -21,34 +29,61 @@ this package):
 
 from repro.analysis.callgraph import (CHA, PRECISIONS, RTA, CallSite,
                                       StaticCallGraph, build_call_graph)
-from repro.analysis.report import (ANALYSIS_SCHEMA, analyze_benchmark,
+from repro.analysis.kcfa import (ContextSensitiveCallGraph, ContextTargets,
+                                 KSite, build_kcfa_graph, extend,
+                                 strings_compatible, truncate)
+from repro.analysis.lattice import (LATTICE_KS, ContainmentViolation,
+                                    LatticeReport, SiteLatticeRow,
+                                    TierPrecisionScore, build_lattice_report,
+                                    lattice_to_json, render_lattice)
+from repro.analysis.report import (ANALYSIS_SCHEMA, ANALYZE_PRECISIONS,
+                                   DEFAULT_PRECISIONS, analyze_benchmark,
                                    analyze_program, bundle_reports,
                                    render_analysis, render_bundle,
                                    report_ok, write_report)
 from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
                                       ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
-                                      SoundnessReport, SoundnessViolation,
-                                      attribute_flips, check_containment,
-                                      check_soundness, observe_dispatch_edges,
-                                      render_attribution)
-from repro.analysis.static_oracle import StaticOracle
+                                      LatticeSoundnessReport, SoundnessReport,
+                                      SoundnessViolation, attribute_flips,
+                                      check_containment,
+                                      check_context_containment,
+                                      check_lattice_soundness,
+                                      check_soundness,
+                                      flatten_context_edges,
+                                      observe_context_edges,
+                                      observe_dispatch_edges,
+                                      render_attribution,
+                                      truncate_context_edges)
+from repro.analysis.static_oracle import StaticContextOracle, StaticOracle
 from repro.analysis.verifier import (VERIFIER_CODES, VerificationFailure,
                                      VerificationReport, VerifierError,
                                      verify_program)
 
 __all__ = [
     "ANALYSIS_SCHEMA",
+    "ANALYZE_PRECISIONS",
     "ATTR_PROFILE_DECIDED",
     "ATTR_STATIC_DECIDED",
     "ATTR_UNKNOWN_SITE",
     "CHA",
     "CallSite",
+    "ContainmentViolation",
+    "ContextSensitiveCallGraph",
+    "ContextTargets",
+    "DEFAULT_PRECISIONS",
+    "KSite",
+    "LATTICE_KS",
+    "LatticeReport",
+    "LatticeSoundnessReport",
     "PRECISIONS",
     "RTA",
+    "SiteLatticeRow",
     "SoundnessReport",
     "SoundnessViolation",
     "StaticCallGraph",
+    "StaticContextOracle",
     "StaticOracle",
+    "TierPrecisionScore",
     "VERIFIER_CODES",
     "VerificationFailure",
     "VerificationReport",
@@ -57,14 +92,26 @@ __all__ = [
     "analyze_program",
     "attribute_flips",
     "build_call_graph",
+    "build_kcfa_graph",
+    "build_lattice_report",
     "bundle_reports",
     "check_containment",
+    "check_context_containment",
+    "check_lattice_soundness",
     "check_soundness",
+    "extend",
+    "flatten_context_edges",
+    "lattice_to_json",
+    "observe_context_edges",
     "observe_dispatch_edges",
     "render_analysis",
     "render_attribution",
     "render_bundle",
+    "render_lattice",
     "report_ok",
+    "strings_compatible",
+    "truncate",
+    "truncate_context_edges",
     "verify_program",
     "write_report",
 ]

@@ -198,7 +198,7 @@ def build_call_graph(program: Program,
         method = program.method(method_id)
         caller_freq = frequency.get(method_id, 0.0)
         for stmt in iter_call_sites(method.body):
-            kind, selector = _site_kind(stmt)
+            kind, selector = site_kind(stmt)
             sites[stmt.site] = CallSite(
                 site=stmt.site, caller=method_id, kind=kind,
                 selector=selector,
@@ -214,12 +214,25 @@ def build_call_graph(program: Program,
         method_frequency=dict(frequency), size_classes=size_classes)
 
 
-def _site_kind(stmt: Stmt) -> Tuple[str, str]:
+def site_kind(stmt: Stmt) -> Tuple[str, str]:
+    """``(kind, selector)`` of one call statement; shared with k-CFA."""
     if stmt.kind == S_STATIC_CALL:
         return "static", stmt.target
     if stmt.kind == S_VIRTUAL_CALL:
         return "virtual", stmt.selector
     return "interface", stmt.selector
+
+
+def method_site_multipliers(method: MethodDef) -> Dict[int, float]:
+    """Within-method execution-count estimate for each call site.
+
+    Loop bounds multiply (clamped to :data:`LOOP_TRIP_CAP`), ``If``
+    branches damp by :data:`BRANCH_PROBABILITY`.  Shared by the flat
+    call-graph builder and the k-CFA frequency propagation.
+    """
+    out: Dict[int, float] = {}
+    _walk_multipliers(method.body, 1.0, out)
+    return out
 
 
 class _GraphBuilder:

@@ -1,10 +1,15 @@
 """The ``repro analyze`` report: versioned JSON plus a human summary.
 
 One report bundles, per program: the verifier verdict (with every
-structured error), CHA and RTA call-graph statistics (reachability, dead
-methods, the monomorphism histogram), and -- unless disabled -- the
-dynamic soundness check proving the CHA target sets contain every
-dispatch edge a fixed-seed run executes.
+structured error), call-graph statistics at the requested precision
+tiers (CHA and RTA by default; ``0cfa``/``kcfa`` add the
+context-sensitive graphs), and -- unless disabled -- the dynamic
+soundness check proving the static target sets contain every dispatch
+edge a fixed-seed run executes.  ``lattice=True`` additionally embeds
+the full precision-lattice comparison (per-site set sizes across
+``CHA ⊇ RTA ⊇ 0CFA ⊇ 1CFA ⊇ 2CFA ⊇ observed``, context-rescued sites,
+and per-tier precision scores against the dynamic CCT) and upgrades the
+soundness section to check every tier of the chain from one replay.
 
 Versioning follows the provenance layer's policy: the payload carries
 ``schema = "repro.analysis/v1"``; adding fields is backward compatible,
@@ -19,17 +24,34 @@ import os
 from typing import Dict, List, Sequence
 
 from repro.analysis.callgraph import CHA, RTA, build_call_graph
-from repro.analysis.soundness import check_containment, observe_dispatch_edges
+from repro.analysis.kcfa import build_kcfa_graph
+from repro.analysis.lattice import (LATTICE_KS, build_lattice_report,
+                                    lattice_to_json)
+from repro.analysis.soundness import (check_containment,
+                                      check_lattice_soundness,
+                                      observe_context_edges,
+                                      observe_dispatch_edges)
 from repro.analysis.verifier import verify_program
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.errors import ConfigError
 from repro.jvm.program import Program
 
 #: Versioned schema identifier written into every analyze report.
 ANALYSIS_SCHEMA = "repro.analysis/v1"
 
+#: Precision tiers ``repro analyze --precision`` accepts.  ``0cfa`` is
+#: the context-insensitive control-flow analysis; ``kcfa`` is the
+#: k-bounded call-string analysis at the report's ``k``.
+ANALYZE_PRECISIONS = (CHA, RTA, "0cfa", "kcfa")
+
+#: Default tier selection, matching the pre-lattice report shape.
+DEFAULT_PRECISIONS = (CHA, RTA)
+
 
 def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
-                    soundness: bool = True, phase: float = 0.0) \
+                    soundness: bool = True, phase: float = 0.0,
+                    precisions: Sequence[str] = DEFAULT_PRECISIONS,
+                    lattice: bool = False, k: int = 2) \
         -> Dict[str, object]:
     """Full analysis of one program, as a JSON-ready dict.
 
@@ -37,6 +59,13 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
     only run when verification passes -- building a call graph over a
     malformed program would crash on exactly the defects the verifier
     just diagnosed.
+
+    ``precisions`` selects which call-graph summaries the report
+    carries (:data:`ANALYZE_PRECISIONS`); ``kcfa`` summaries are keyed
+    by their concrete depth (``"2cfa"`` for ``k=2``).  ``lattice=True``
+    adds the tiered per-site comparison and widens the soundness check
+    to the whole precision chain, reusing a single context-qualified
+    replay for both.
     """
     verification = verify_program(program)
     payload: Dict[str, object] = {
@@ -51,35 +80,79 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
     if not verification.ok:
         return payload
 
-    cha_graph = build_call_graph(program, precision=CHA, costs=costs)
-    rta_graph = build_call_graph(program, precision=RTA, costs=costs)
-    payload["callgraph"] = {CHA: cha_graph.summary(),
-                            RTA: rta_graph.summary()}
+    summaries: Dict[str, object] = {}
+    for precision in precisions:
+        if precision in (CHA, RTA):
+            graph = build_call_graph(program, precision=precision,
+                                     costs=costs)
+            summaries[precision] = graph.summary()
+        elif precision == "0cfa":
+            summaries["0cfa"] = build_kcfa_graph(program, k=0,
+                                                 costs=costs).summary()
+        elif precision == "kcfa":
+            kgraph = build_kcfa_graph(program, k=k, costs=costs)
+            summaries[kgraph.precision] = kgraph.summary()
+        else:
+            raise ConfigError(f"unknown analysis precision {precision!r}; "
+                              f"expected one of {ANALYZE_PRECISIONS}")
+    payload["callgraph"] = summaries
+
+    edges = None
+    if lattice:
+        # One context-qualified replay feeds the lattice report and --
+        # when enabled -- every tier of the soundness chain.
+        edges = observe_context_edges(program, k=max(LATTICE_KS),
+                                      costs=costs, phase=phase)
+        report = build_lattice_report(program, costs=costs, phase=phase,
+                                      edges=edges)
+        payload["lattice"] = lattice_to_json(report)
 
     if soundness:
-        observed = observe_dispatch_edges(program, costs=costs, phase=phase)
-        report = check_containment(cha_graph, observed)
-        payload["soundness"] = {
-            "ok": report.ok,
-            "precision": report.precision,
-            "sites_observed": report.sites_observed,
-            "edges_observed": report.edges_observed,
-            "violations": [dataclasses.asdict(v)
-                           for v in report.violations],
-        }
+        if lattice:
+            chain = check_lattice_soundness(program, costs=costs,
+                                            phase=phase, edges=edges)
+            payload["soundness"] = {
+                "ok": chain.ok,
+                "violation_codes": list(chain.violation_codes()),
+                "tiers": [{
+                    "precision": section.precision,
+                    "sites_observed": section.sites_observed,
+                    "edges_observed": section.edges_observed,
+                    "violations": [
+                        {"code": v.code, **dataclasses.asdict(v)}
+                        for v in section.violations],
+                } for section in chain.sections],
+            }
+        else:
+            cha_graph = build_call_graph(program, precision=CHA, costs=costs)
+            observed = observe_dispatch_edges(program, costs=costs,
+                                              phase=phase)
+            report = check_containment(cha_graph, observed)
+            payload["soundness"] = {
+                "ok": report.ok,
+                "precision": report.precision,
+                "sites_observed": report.sites_observed,
+                "edges_observed": report.edges_observed,
+                "violations": [dataclasses.asdict(v)
+                               for v in report.violations],
+            }
     return payload
 
 
 def analyze_benchmark(name: str, scale: float = 1.0,
                       costs: CostModel = DEFAULT_COSTS,
                       soundness: bool = True,
-                      phase: float = 0.0) -> Dict[str, object]:
+                      phase: float = 0.0,
+                      precisions: Sequence[str] = DEFAULT_PRECISIONS,
+                      lattice: bool = False,
+                      k: int = 2) -> Dict[str, object]:
     """Build one Table-1 benchmark (seed-deterministic) and analyze it."""
     from repro.workloads.spec import build_benchmark
 
     generated = build_benchmark(name, scale=scale)
     return analyze_program(generated.program, costs=costs,
-                           soundness=soundness, phase=phase)
+                           soundness=soundness, phase=phase,
+                           precisions=precisions, lattice=lattice, k=k)
 
 
 def report_ok(payload: Dict[str, object]) -> bool:
@@ -89,6 +162,9 @@ def report_ok(payload: Dict[str, object]) -> bool:
         return False
     soundness = payload.get("soundness")
     if soundness is not None and not soundness.get("ok", False):
+        return False
+    lattice = payload.get("lattice")
+    if lattice is not None and not lattice.get("ok", False):
         return False
     return True
 
@@ -133,32 +209,92 @@ def render_analysis(payload: Dict[str, object]) -> str:
                          f"{error['message']}")
         return "\n".join(lines)
 
-    for precision in (CHA, RTA):
-        stats = payload["callgraph"][precision]
-        histogram = ", ".join(
-            f"{k}->{v}" for k, v in stats["monomorphism_histogram"].items())
-        lines.append(
-            f"  {precision:<9}: {stats['methods_reachable']} reachable / "
-            f"{stats['methods_dead']} dead methods, "
-            f"{stats['dispatched_sites']} dispatched sites "
-            f"({stats['monomorphic_sites']} mono / "
-            f"{stats['polymorphic_sites']} poly; targets {histogram})")
+    for precision, stats in payload["callgraph"].items():
+        if "monomorphism_histogram" in stats:
+            histogram = ", ".join(
+                f"{k}->{v}"
+                for k, v in stats["monomorphism_histogram"].items())
+            lines.append(
+                f"  {precision:<9}: {stats['methods_reachable']} reachable "
+                f"/ {stats['methods_dead']} dead methods, "
+                f"{stats['dispatched_sites']} dispatched sites "
+                f"({stats['monomorphic_sites']} mono / "
+                f"{stats['polymorphic_sites']} poly; targets {histogram})")
+        else:
+            lines.append(
+                f"  {precision:<9}: {stats['methods_reachable']} reachable "
+                f"methods over {stats['method_contexts']} contexts "
+                f"(max {stats['max_contexts_per_method']}/method), "
+                f"{stats['dispatched_sites']} dispatched sites "
+                f"({stats['monomorphic_sites']} mono / "
+                f"{stats['polymorphic_sites']} poly; "
+                f"{stats['context_monomorphic_sites']} ctx-mono, "
+                f"{stats['context_rescued_sites']} rescued)")
+
+    lattice = payload.get("lattice")
+    if lattice is not None:
+        lines.extend(_render_lattice_section(lattice))
 
     soundness = payload.get("soundness")
     if soundness is not None:
-        if soundness["ok"]:
-            lines.append(f"  soundness: CHA contains all "
-                         f"{soundness['edges_observed']} dynamic edges "
-                         f"over {soundness['sites_observed']} sites")
-        else:
-            lines.append(f"  soundness: {len(soundness['violations'])} "
-                         f"VIOLATION(S)")
-            for violation in soundness["violations"]:
-                lines.append(f"    site {violation['site']} in "
-                             f"{violation['caller']}: executed "
-                             f"{violation['observed']} outside "
-                             f"{violation['allowed']}")
+        lines.extend(_render_soundness_section(soundness))
     return "\n".join(lines)
+
+
+def _render_lattice_section(lattice: Dict[str, object]) -> List[str]:
+    """Summary lines for the embedded precision-lattice payload."""
+    tiers = lattice["tiers"]
+    status = "ok" if lattice["ok"] else (
+        f"{len(lattice['containment_violations'])} VIOLATION(S)")
+    lines = [f"  lattice  : {' ⊇ '.join(tiers)} ⊇ observed over "
+             f"{len(lattice['sites'])} site(s); containment {status}"]
+    for violation in lattice["containment_violations"]:
+        lines.append(f"    site {violation['site']}: {violation['fine']} "
+                     f"⊄ {violation['coarse']} "
+                     f"(extra: {', '.join(violation['extra'])})")
+    for tier, rescued in lattice["rescued_sites"].items():
+        lines.append(f"    rta-poly->{tier}-ctx-mono: {len(rescued)} site(s)"
+                     + (f" {rescued}" if rescued else ""))
+    scores = ", ".join(f"{tier} {entry['score']:.3f}"
+                       for tier, entry in lattice["precision_scores"].items())
+    lines.append(f"    precision scores vs dynamic CCT: {scores}")
+    return lines
+
+
+def _render_soundness_section(soundness: Dict[str, object]) -> List[str]:
+    """Summary lines for a flat or whole-chain soundness payload."""
+    tiers = soundness.get("tiers")
+    if tiers is None:
+        if soundness["ok"]:
+            return [f"  soundness: CHA contains all "
+                    f"{soundness['edges_observed']} dynamic edges "
+                    f"over {soundness['sites_observed']} sites"]
+        lines = [f"  soundness: {len(soundness['violations'])} "
+                 f"VIOLATION(S)"]
+        for violation in soundness["violations"]:
+            lines.append(f"    site {violation['site']} in "
+                         f"{violation['caller']}: executed "
+                         f"{violation['observed']} outside "
+                         f"{violation['allowed']}")
+        return lines
+    if soundness["ok"]:
+        chain = " ⊆ ".join(section["precision"] for section in
+                           reversed(tiers))
+        edges = max((section["edges_observed"] for section in tiers),
+                    default=0)
+        return [f"  soundness: observed ⊆ {chain} holds for all "
+                f"{edges} dynamic edges"]
+    lines = [f"  soundness: BROKEN tiers "
+             f"{', '.join(soundness['violation_codes'])}"]
+    for section in tiers:
+        for violation in section["violations"]:
+            where = (f"site {violation['site']} in {violation['caller']}")
+            if violation.get("context") is not None:
+                where += f" ctx={list(violation['context'])}"
+            lines.append(f"    [{violation['code']}] {where}: executed "
+                         f"{violation['observed']} outside "
+                         f"{violation['allowed']}")
+    return lines
 
 
 def render_bundle(bundle: Dict[str, object]) -> str:
@@ -171,7 +307,7 @@ def render_bundle(bundle: Dict[str, object]) -> str:
 
 
 __all__ = [
-    "ANALYSIS_SCHEMA", "analyze_benchmark", "analyze_program",
-    "bundle_reports", "render_analysis", "render_bundle", "report_ok",
-    "write_report",
+    "ANALYSIS_SCHEMA", "ANALYZE_PRECISIONS", "DEFAULT_PRECISIONS",
+    "analyze_benchmark", "analyze_program", "bundle_reports",
+    "render_analysis", "render_bundle", "report_ok", "write_report",
 ]

@@ -1,14 +1,23 @@
-"""Dynamic soundness checking: static CHA sets must contain every
-observed dispatch edge.
+"""Dynamic soundness checking: static target sets must contain every
+observed dispatch edge, at every precision tier.
 
-The static call graph is only useful if it *over-approximates* execution:
-a (site -> target) edge the machine actually dispatches that the CHA
-target set does not contain would mean the verifier, the static oracle,
-and every report built on the graph are reasoning about a different
-program than the one that runs.  This module replays a fixed-seed run
-with the machine's zero-cost ``dispatch_observer`` hook attached,
-collects every dynamically executed dispatch edge, and checks containment
-site by site.
+The static call graphs are only useful if they *over-approximate*
+execution: a (site -> target) edge the machine actually dispatches that a
+static target set does not contain would mean the verifier, the static
+oracles, and every report built on the graphs are reasoning about a
+different program than the one that runs.  This module replays a
+fixed-seed run with the machine's zero-cost ``dispatch_observer`` hook
+attached, collects every dynamically executed dispatch edge (optionally
+qualified by the source-level calling context read off the shadow
+stack), and checks containment site by site.
+
+:func:`check_soundness` checks one flat graph (CHA by default);
+:func:`check_lattice_soundness` checks the whole precision chain
+``observed ⊆ kCFA(ctx) ⊆ ... ⊆ 0CFA ⊆ RTA ⊆ CHA`` from a single replay,
+with the k-CFA tiers checked *context-conditioned*: an edge only counts
+as contained when the target set of the specific truncated call string
+it executed under contains it.  Each violation carries a ``code`` naming
+the tier that broke (``unsound-cha``, ``unsound-1cfa``, ...).
 
 The same machinery feeds decision-diff *attribution*: a flip between two
 runs at a site the static graph proves monomorphic cannot be explained by
@@ -23,7 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.analysis.callgraph import CHA, StaticCallGraph, build_call_graph
+from repro.analysis.callgraph import (CHA, RTA, StaticCallGraph,
+                                      build_call_graph)
+from repro.analysis.kcfa import (CallString, ContextSensitiveCallGraph,
+                                 build_kcfa_graph, truncate)
 from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.jvm.program import Program
 from repro.provenance.diff import DecisionDiff, Flip
@@ -43,9 +55,21 @@ class SoundnessViolation:
     selector: str
     observed: str                 #: dynamically executed target id
     allowed: Tuple[str, ...]      #: the static target set at the site
+    tier: str = CHA               #: precision tier whose set was violated
+    #: dynamic call string the edge executed under, for tiers checked
+    #: context-conditioned (None for flat tiers)
+    context: Optional[CallString] = None
+
+    @property
+    def code(self) -> str:
+        """Stable violation code naming the tier that broke."""
+        return f"unsound-{self.tier}"
 
     def describe(self) -> str:
-        return (f"site {self.site} in {self.caller} ({self.selector}): "
+        where = f"site {self.site} in {self.caller} ({self.selector})"
+        if self.context is not None:
+            where += f" ctx={list(self.context)}"
+        return (f"[{self.code}] {where}: "
                 f"executed {self.observed}, static set "
                 f"{{{', '.join(self.allowed) or ''}}}")
 
@@ -121,7 +145,8 @@ def check_containment(graph: StaticCallGraph,
                 caller=info.caller if info is not None else "<unknown>",
                 selector=info.selector if info is not None else "<unknown>",
                 observed=target,
-                allowed=tuple(sorted(allowed))))
+                allowed=tuple(sorted(allowed)),
+                tier=graph.precision))
     return SoundnessReport(
         program_name=graph.program_name, precision=graph.precision,
         sites_observed=len(observed), edges_observed=edges,
@@ -139,6 +164,150 @@ def check_soundness(program: Program,
     observed = observe_dispatch_edges(program, policy=policy, costs=costs,
                                       phase=phase)
     return check_containment(graph, observed)
+
+
+# -- context-conditioned observation and the full precision chain --------------
+
+#: (site, dynamic call string) -> executed target -> dispatch count.
+ContextEdges = Dict[Tuple[int, CallString], Dict[str, int]]
+
+
+def observe_context_edges(program: Program, k: int = 2, policy=None,
+                          costs: CostModel = DEFAULT_COSTS,
+                          phase: float = 0.0) -> ContextEdges:
+    """Replay once and collect dispatch edges qualified by calling context.
+
+    The dynamic call string is read off the machine's source-level shadow
+    stack at dispatch time -- innermost-first call-site ids, truncated to
+    ``k`` -- so inlined activations contribute their sites exactly as a
+    CCT walk would see them.  Counts are per executed dispatch, which
+    makes the result double as the fixed-seed dynamic CCT the precision
+    score compares k-CFA predictions against.
+    """
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    if policy is None:
+        policy = make_policy("cins", costs=costs)
+    runtime = AdaptiveRuntime(program, policy, costs, sample_phase=phase)
+    stack = runtime.machine.stack
+    edges: Dict[Tuple[int, CallString], Dict[str, int]] = {}
+
+    def observer(site: int, target_id: str) -> None:
+        chain: List[int] = []
+        for frame in reversed(stack):
+            if frame.site is None or len(chain) >= k:
+                break
+            chain.append(frame.site)
+        slot = edges.setdefault((site, tuple(chain)), {})
+        slot[target_id] = slot.get(target_id, 0) + 1
+
+    runtime.machine.dispatch_observer = observer
+    runtime.run()
+    return edges
+
+
+def flatten_context_edges(edges: ContextEdges) -> Dict[int, FrozenSet[str]]:
+    """Drop contexts: the per-site edge sets flat tiers are checked with."""
+    out: Dict[int, set] = {}
+    for (site, _ctx), targets in edges.items():
+        out.setdefault(site, set()).update(targets)
+    return {site: frozenset(targets) for site, targets in out.items()}
+
+
+def truncate_context_edges(edges: ContextEdges, k: int) -> ContextEdges:
+    """Re-key edges on call strings truncated to ``k`` (counts summed)."""
+    out: ContextEdges = {}
+    for (site, ctx), targets in edges.items():
+        slot = out.setdefault((site, truncate(ctx, k)), {})
+        for target, count in targets.items():
+            slot[target] = slot.get(target, 0) + count
+    return out
+
+
+def check_context_containment(graph: ContextSensitiveCallGraph,
+                              edges: ContextEdges) -> SoundnessReport:
+    """Context-conditioned containment: each observed edge must be in the
+    target set of the *specific* truncated call string it ran under."""
+    truncated = truncate_context_edges(edges, graph.k)
+    violations: List[SoundnessViolation] = []
+    sites = set()
+    n_edges = 0
+    for site, ctx in sorted(truncated):
+        targets = truncated[(site, ctx)]
+        sites.add(site)
+        n_edges += len(targets)
+        allowed = graph.targets(site, context=ctx)
+        info = graph.sites.get(site)
+        for target in sorted(set(targets) - allowed):
+            violations.append(SoundnessViolation(
+                site=site,
+                caller=info.caller if info is not None else "<unknown>",
+                selector=info.selector if info is not None else "<unknown>",
+                observed=target,
+                allowed=tuple(sorted(allowed)),
+                tier=graph.precision,
+                context=ctx))
+    return SoundnessReport(
+        program_name=graph.program_name, precision=graph.precision,
+        sites_observed=len(sites), edges_observed=n_edges,
+        violations=tuple(violations))
+
+
+@dataclass(frozen=True)
+class LatticeSoundnessReport:
+    """Containment of one replay against the whole precision chain."""
+
+    program_name: str
+    #: one section per tier, coarsest (CHA) first
+    sections: Tuple[SoundnessReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(section.ok for section in self.sections)
+
+    def violation_codes(self) -> Tuple[str, ...]:
+        """Sorted distinct codes of the tiers that broke (empty when ok)."""
+        return tuple(sorted({v.code for section in self.sections
+                             for v in section.violations}))
+
+    def render(self) -> str:
+        status = ("contained at every tier" if self.ok else
+                  f"BROKEN tiers: {', '.join(self.violation_codes())}")
+        lines = [f"lattice soundness {self.program_name}: {status}"]
+        lines.extend("  " + section.render().replace("\n", "\n  ")
+                     for section in self.sections)
+        return "\n".join(lines)
+
+
+def check_lattice_soundness(program: Program, ks: Tuple[int, ...] = (0, 1, 2),
+                            policy=None,
+                            costs: CostModel = DEFAULT_COSTS,
+                            phase: float = 0.0,
+                            edges: Optional[ContextEdges] = None) \
+        -> LatticeSoundnessReport:
+    """Replay once; assert observed ⊆ kCFA(ctx) ⊆ ... ⊆ RTA ⊆ CHA.
+
+    Flat tiers (CHA, RTA) are checked on the context-stripped edge sets;
+    each k-CFA tier is checked context-conditioned.  One replay feeds
+    every tier, so the sections are comparable edge-for-edge.  Pass
+    ``edges`` (from :func:`observe_context_edges` at depth >= max(ks))
+    to reuse an existing observation instead of replaying here.
+    """
+    max_k = max(ks) if ks else 0
+    if edges is None:
+        edges = observe_context_edges(program, k=max_k, policy=policy,
+                                      costs=costs, phase=phase)
+    flat = flatten_context_edges(edges)
+    sections: List[SoundnessReport] = []
+    for precision in (CHA, RTA):
+        graph = build_call_graph(program, precision=precision, costs=costs)
+        sections.append(check_containment(graph, flat))
+    for k in ks:
+        kgraph = build_kcfa_graph(program, k=k, costs=costs)
+        sections.append(check_context_containment(kgraph, edges))
+    return LatticeSoundnessReport(program_name=program.name,
+                                  sections=tuple(sections))
 
 
 # -- decision-diff attribution -------------------------------------------------

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.callgraph import StaticCallGraph
+from repro.analysis.kcfa import CallString, ContextSensitiveCallGraph
 from repro.compiler.oracle import (Decision, DependencySink, InlineOracle,
                                    RefusalSink)
 from repro.compiler.size_estimator import (SizeClass, classify,
@@ -156,3 +157,91 @@ class StaticOracle(InlineOracle):
         # basis for picking guard targets (the paper's whole point).
         return Decision.no(ReasonCode.STATIC_POLY,
                            weight=self._graph.site_weight(stmt.site))
+
+
+class StaticContextOracle(StaticOracle):
+    """A static oracle that conditions on the compilation context via k-CFA.
+
+    The profile-free analogue of the paper's context-sensitive profiles:
+    where :class:`StaticOracle` sees one RTA target set per site, this
+    oracle asks the :class:`~repro.analysis.kcfa.ContextSensitiveCallGraph`
+    what the site can dispatch to *given the inline chain above it* -- the
+    known prefix of the dynamic call string, matched Equation-3 style
+    against the analysis contexts (agree on the overlap, wildcard beyond).
+
+    Two upgrades over the flat static oracle follow:
+
+    * **guard elimination** -- a site whose every compatible context is
+      monomorphic inlines *directly* (:data:`ReasonCode.STATIC_CTX_MONO`);
+      the analysis is whole-program over our closed world, so like a
+      declared sole implementation it needs no method-test guard (the
+      dynamic lattice-soundness check polices the analysis itself);
+    * **context rescue** -- sites RTA refuses as polymorphic inline once
+      the context disambiguates them, which is exactly what ``decisions
+      diff`` vs the ``static`` family attributes.
+
+    Sites that stay polymorphic even under the context refuse with
+    :data:`ReasonCode.STATIC_CTX_POLY`.  Hotness screens stay on the
+    *flat* site weight: a context's share of a site's frequency is never
+    larger than the site total, so comparing per-context weight against
+    the same threshold would only refuse more bound callees -- starving
+    the inlining that deepens compilation contexts in the first place.
+    The context-conditioned frequency is reported as decision evidence
+    instead.
+    """
+
+    def __init__(self, program: Program, hierarchy: ClassHierarchy,
+                 costs: CostModel, graph: StaticCallGraph,
+                 kgraph: ContextSensitiveCallGraph,
+                 on_refusal: Optional[RefusalSink] = None,
+                 on_cha_dependency: Optional[DependencySink] = None,
+                 telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE):
+        super().__init__(program, hierarchy, costs, graph,
+                         on_refusal=on_refusal,
+                         on_cha_dependency=on_cha_dependency,
+                         telemetry=telemetry, provenance=provenance)
+        self._kgraph = kgraph
+        self._known_prefix: CallString = ()
+
+    def decide(self, stmt, comp_context: Context, depth: int,
+               current_size: int, root: MethodDef) -> Decision:
+        # ``comp_context[0]`` is (enclosing method, this site); the sites
+        # of the elements above it are the call string through which the
+        # enclosing method is reached in this compilation -- the provable
+        # innermost-first prefix of any dynamic call string at the site.
+        self._known_prefix = tuple(site for _caller, site
+                                   in comp_context[1:])
+        try:
+            return super().decide(stmt, comp_context, depth, current_size,
+                                  root)
+        finally:
+            self._known_prefix = ()
+
+    def _decide_virtual(self, stmt, comp_context: Context, depth: int,
+                        current_size: int, root: MethodDef) -> Decision:
+        declared_sole = self._hierarchy.sole_implementation(stmt.selector)
+        if declared_sole is not None:
+            return self._decide_bound(declared_sole, stmt, comp_context,
+                                      depth, current_size, root)
+
+        weight = self._kgraph.prefix_weight(stmt.site, self._known_prefix)
+        targets = self._kgraph.targets_for_prefix(stmt.site,
+                                                  self._known_prefix)
+        if len(targets) == 1:
+            # Context-monomorphic: every analysis call string compatible
+            # with the compilation context reaches this one target, so
+            # the devirtualization needs no guard.
+            target = self._program.method(next(iter(targets)))
+            decision = self._decide_bound(target, stmt, comp_context,
+                                          depth, current_size, root)
+            if not decision.inline:
+                return decision
+            return Decision.direct(target, ReasonCode.STATIC_CTX_MONO,
+                                   size_class=decision.size_class,
+                                   estimate=decision.estimate,
+                                   weight=weight)
+
+        # Multiple targets survive even conditioned on the context (or
+        # the analysis proves the site unreachable under it -- nothing to
+        # gain from inlining dead dispatch either way).
+        return Decision.no(ReasonCode.STATIC_CTX_POLY, weight=weight)

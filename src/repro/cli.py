@@ -35,9 +35,15 @@ Commands
     knows of its site (static-vs-profile disagreement vs budget effects).
 ``analyze``
     Static analysis over benchmarks: run the program verifier, build
-    CHA/RTA call graphs, check dynamic soundness (every executed
-    dispatch edge must lie in the static CHA target set), and emit a
-    versioned JSON report (``repro.analysis/v1``).
+    call graphs at the requested precision tiers (``--precision cha rta
+    0cfa kcfa``), check dynamic soundness (every executed dispatch edge
+    must lie in the static target sets), and emit a versioned JSON
+    report (``repro.analysis/v1``).  ``--lattice`` adds the full
+    precision-lattice comparison -- per-site target-set sizes across
+    ``CHA ⊇ RTA ⊇ 0CFA ⊇ 1CFA ⊇ 2CFA ⊇ observed``, the sites static
+    context rescues from RTA polymorphism, and per-tier prediction
+    scores against the fixed-seed dynamic CCT -- and widens the
+    soundness check to every tier of the chain.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.analysis.report import ANALYZE_PRECISIONS
 from repro.aos.cost_accounting import APP
 from repro.aos.runtime import AdaptiveRuntime
 from repro.experiments.config import (DEFAULT_PHASES, DEPTHS,
@@ -194,8 +201,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="verify benchmarks, build CHA/RTA call graphs, and check "
-             "dynamic soundness against the static graph")
+        help="verify benchmarks, build call graphs (CHA/RTA/k-CFA), and "
+             "check dynamic soundness against the static target sets")
     analyze.add_argument("--benchmarks", nargs="*", default=None,
                          choices=BENCHMARK_ORDER,
                          help="benchmarks to analyze (default: all eight)")
@@ -207,7 +214,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          action=argparse.BooleanOptionalAction, default=True,
                          help="replay each benchmark and check that CHA "
                               "contains every executed dispatch edge "
-                              "(--no-soundness skips the runs)")
+                              "(--no-soundness skips the runs; with "
+                              "--lattice the whole chain observed ⊆ kCFA "
+                              "⊆ 0CFA ⊆ RTA ⊆ CHA is checked)")
+    analyze.add_argument("--precision", nargs="*", default=None,
+                         choices=list(ANALYZE_PRECISIONS),
+                         help="call-graph tiers to summarize "
+                              "(default: cha rta)")
+    analyze.add_argument("--k", type=int, default=2,
+                         help="call-string depth for the kcfa tier")
+    analyze.add_argument("--lattice", action="store_true",
+                         help="embed the precision-lattice comparison "
+                              "(per-site sizes CHA ⊇ RTA ⊇ 0CFA ⊇ kCFA ⊇ "
+                              "observed, context-rescued sites, per-tier "
+                              "precision scores vs the dynamic CCT)")
     analyze.add_argument("-o", "--out", default=None,
                          help="also write the versioned JSON report here")
     return parser
@@ -430,8 +450,12 @@ def _cmd_analyze(args) -> int:
                                 render_bundle, write_report)
 
     benchmarks = tuple(args.benchmarks) if args.benchmarks else BENCHMARK_ORDER
+    precisions = tuple(args.precision) if args.precision else None
     reports = [analyze_benchmark(name, scale=args.scale,
-                                 soundness=args.soundness, phase=args.phase)
+                                 soundness=args.soundness, phase=args.phase,
+                                 lattice=args.lattice, k=args.k,
+                                 **({"precisions": precisions}
+                                    if precisions else {}))
                for name in benchmarks]
     bundle = bundle_reports(reports, scale=args.scale)
     print(render_bundle(bundle))

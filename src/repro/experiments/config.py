@@ -34,11 +34,14 @@ POLICY_FAMILIES: Tuple[str, ...] = ("fixed", "paramLess", "class", "large",
 
 #: Families a sweep may be asked to run.  Superset of the paper's
 #: figure families: ``imprecision`` (the adaptive policy of Section 5)
-#: and ``static`` (the no-profile static-oracle baseline from
-#: :mod:`repro.analysis`) can be swept but are not part of the default
-#: figure grid, so :data:`POLICY_FAMILIES` stays exactly the paper's.
+#: and the no-profile static baselines from :mod:`repro.analysis` --
+#: ``static`` (flat RTA) and ``static-k`` (k-CFA, where the sweep's
+#: depth axis is the call-string length k) -- can be swept but are not
+#: part of the default figure grid, so :data:`POLICY_FAMILIES` stays
+#: exactly the paper's.
 SWEEPABLE_FAMILIES: Tuple[str, ...] = POLICY_FAMILIES + ("imprecision",
-                                                         "static")
+                                                         "static",
+                                                         "static-k")
 
 #: The maximum context-sensitivity depths the paper sweeps.
 DEPTHS: Tuple[int, ...] = (2, 3, 4, 5)

@@ -381,7 +381,7 @@ def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
     return stranded
 
 
-def run_sweep(config: SweepConfig = SweepConfig(),
+def run_sweep(config: Optional[SweepConfig] = None,
               verbose: bool = False,
               collect_telemetry: bool = False,
               cache: Optional[CellCache] = None) -> SweepResults:
@@ -406,6 +406,8 @@ def run_sweep(config: SweepConfig = SweepConfig(),
     is re-run so the log exists -- recording cannot change the result
     (zero-overhead contract), so the rerun reproduces the cached bits.
     """
+    if config is None:
+        config = SweepConfig()
     cells = list(config.configurations())
     total = len(cells)
     results: Dict[CellKey, RunResult] = {}
@@ -496,7 +498,7 @@ def _migrate_legacy_cells(legacy: SweepResults, cache: CellCache) -> None:
 
 
 def load_or_run_sweep(cache_path: str,
-                      config: SweepConfig = SweepConfig(),
+                      config: Optional[SweepConfig] = None,
                       verbose: bool = False,
                       use_cache: bool = True,
                       resume: bool = True) -> SweepResults:
@@ -511,6 +513,8 @@ def load_or_run_sweep(cache_path: str,
     ignores and overwrites every cache; ``resume=False`` keeps the
     monolithic fast path but skips the per-cell layer.
     """
+    if config is None:
+        config = SweepConfig()
     if not use_cache:
         results = run_sweep(config, verbose=verbose)
         _write_monolithic(cache_path, results)

@@ -9,13 +9,16 @@ from repro.policies.catalog import (ClassMethods, ContextInsensitive,
                                     FixedLevel, LargeMethods,
                                     ParameterlessClassMethods,
                                     ParameterlessLargeMethods,
-                                    ParameterlessMethods, StaticOraclePolicy)
+                                    ParameterlessMethods,
+                                    StaticContextOraclePolicy,
+                                    StaticOraclePolicy)
 from repro.policies.imprecision import ImprecisionDriven
 
 #: Figure labels -> policy families, matching the paper's x-axes, plus
-#: the ``static`` no-profile baseline (not a paper figure family).
+#: the ``static``/``static-k`` no-profile baselines (not paper figure
+#: families).
 POLICY_LABELS = ("cins", "fixed", "paramLess", "class", "large", "hybrid1",
-                 "hybrid2", "imprecision", "static")
+                 "hybrid2", "imprecision", "static", "static-k")
 
 
 def make_policy(label: str, max_depth: int = 1,
@@ -44,6 +47,10 @@ def make_policy(label: str, max_depth: int = 1,
     if label == "static":
         # Depth-1 by construction (the profile is gathered but unused).
         return StaticOraclePolicy(costs=costs)
+    if label == "static-k":
+        # ``max_depth`` plays the role of k: the sweep's depth axis
+        # becomes the call-string length of the k-CFA graph.
+        return StaticContextOraclePolicy(k=max_depth, costs=costs)
     raise ConfigError(f"unknown policy label {label!r}; "
                       f"expected one of {POLICY_LABELS}")
 
@@ -52,5 +59,6 @@ __all__ = [
     "ClassMethods", "ContextInsensitive", "ContextSensitivityPolicy",
     "FixedLevel", "ImprecisionDriven", "LargeMethods", "POLICY_LABELS",
     "ParameterlessClassMethods", "ParameterlessLargeMethods",
-    "ParameterlessMethods", "StaticOraclePolicy", "make_policy",
+    "ParameterlessMethods", "StaticContextOraclePolicy",
+    "StaticOraclePolicy", "make_policy",
 ]

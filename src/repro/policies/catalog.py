@@ -162,3 +162,58 @@ class StaticOraclePolicy(ContextSensitivityPolicy):
             telemetry=telemetry if telemetry is not None else NULL_RECORDER,
             provenance=(provenance if provenance is not None
                         else NULL_PROVENANCE))
+
+
+class StaticContextOraclePolicy(StaticOraclePolicy):
+    """The context-sensitive static baseline: k-CFA instead of a profile.
+
+    The static counterpart of the paper's context-sensitive profiles:
+    :meth:`make_oracle` installs a :class:`~repro.analysis.static_oracle.
+    StaticContextOracle` that conditions every virtual-site decision on
+    the inline chain above it, using a whole-program k-CFA call graph
+    built once per program (alongside the flat RTA graph the bound-callee
+    screens still use).  ``k`` plays the role ``max_depth`` plays for the
+    profile-driven families and is sweepable the same way; trace
+    collection stays pinned to depth 1 because, like ``static``, the
+    gathered profile is never consulted.
+    """
+
+    label = "static-k"
+
+    def __init__(self, k: int = 1, costs: CostModel = DEFAULT_COSTS,
+                 precision: str = "rta"):
+        super().__init__(costs=costs, precision=precision)
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.k = k
+        self._kgraphs: Dict[int, object] = {}
+
+    @property
+    def name(self) -> str:
+        return f"{self.label}(k={self.k})"
+
+    def make_oracle(self, program, hierarchy, costs, *, on_refusal=None,
+                    on_cha_dependency=None, telemetry=None, provenance=None):
+        """Controller hook: build a :class:`StaticContextOracle`."""
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.kcfa import build_kcfa_graph
+        from repro.analysis.static_oracle import StaticContextOracle
+        from repro.provenance.recorder import NULL_PROVENANCE
+        from repro.telemetry.recorder import NULL_RECORDER
+
+        graph = self._graphs.get(id(program))
+        if graph is None:
+            graph = build_call_graph(program, hierarchy=hierarchy,
+                                     precision=self._precision, costs=costs)
+            self._graphs[id(program)] = graph
+        kgraph = self._kgraphs.get(id(program))
+        if kgraph is None:
+            kgraph = build_kcfa_graph(program, hierarchy=hierarchy,
+                                      k=self.k, costs=costs)
+            self._kgraphs[id(program)] = kgraph
+        return StaticContextOracle(
+            program, hierarchy, costs, graph, kgraph,
+            on_refusal=on_refusal, on_cha_dependency=on_cha_dependency,
+            telemetry=telemetry if telemetry is not None else NULL_RECORDER,
+            provenance=(provenance if provenance is not None
+                        else NULL_PROVENANCE))

@@ -48,6 +48,10 @@ class ReasonCode(enum.Enum):
     #: Static-oracle only: a bound callee past the normal limits, forced
     #: by the static call graph's frequency estimate (no profile input).
     STATIC_HOT = "static-hot"
+    #: Static-context-oracle only: k-CFA proves every call string
+    #: compatible with the compilation context reaches one target, so the
+    #: site inlines *directly* -- the context, not a guard, protects it.
+    STATIC_CTX_MONO = "static-ctx-mono"
 
     # -- refusals -------------------------------------------------------------
     #: Callee is the compilation root or already on the inline chain.
@@ -74,6 +78,9 @@ class ReasonCode(enum.Enum):
     #: Static-oracle only: a bound medium callee whose static frequency
     #: estimate is below the hotness threshold.
     STATIC_COLD = "static-cold"
+    #: Static-context-oracle only: even conditioned on the compilation
+    #: context, k-CFA still sees multiple targets at the site.
+    STATIC_CTX_POLY = "static-ctx-poly"
 
 
 #: Every legal reason string, for validation and for the DESIGN.md table.
@@ -83,7 +90,7 @@ REASON_CODES: FrozenSet[str] = frozenset(code.value for code in ReasonCode)
 INLINE_REASONS: FrozenSet[str] = frozenset((
     ReasonCode.TINY.value, ReasonCode.SMALL.value, ReasonCode.SMALL_HOT.value,
     ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value,
-    ReasonCode.STATIC_HOT.value))
+    ReasonCode.STATIC_HOT.value, ReasonCode.STATIC_CTX_MONO.value))
 
 #: Reason codes that accompany a *refused* verdict.
 REFUSAL_REASONS: FrozenSet[str] = REASON_CODES - INLINE_REASONS

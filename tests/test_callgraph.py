@@ -4,9 +4,11 @@ import pytest
 
 from conftest import build_diamond_program
 from repro.analysis.callgraph import (CHA, DEFAULT_LOOP_TRIPS, LOOP_TRIP_CAP,
-                                      RTA, build_call_graph)
-from repro.jvm.program import (Const, Local, Loop, New, Return, StaticCall,
-                               VirtualCall, Work)
+                                      MIN_PROPAGATED_WEIGHT, RTA,
+                                      build_call_graph,
+                                      method_site_multipliers, site_kind)
+from repro.jvm.program import (Const, If, Local, Loop, New, Return,
+                               StaticCall, VirtualCall, Work)
 from repro.workloads.builder import ProgramBuilder
 
 
@@ -150,6 +152,94 @@ class TestFrequencies:
         weights = [graph.site_weight(s) for s in graph.sites]
         assert sum(weights) == pytest.approx(1.0)
         assert all(w >= 0.0 for w in weights)
+
+
+def build_mutual_recursion_program(trips=1_000_000):
+    """``M.a`` and ``M.b`` call each other; main drives ``a`` in a loop."""
+    b = ProgramBuilder("mutual")
+    b.cls("M")
+    fa, fb, entry_site = b.site(), b.site(), b.site()
+    b.method("M", "a", [Work(1), StaticCall(fa, "M.b", dst=0),
+                        Return(Local(0))], params=0, static=True, locals_=2)
+    b.method("M", "b", [Work(1), StaticCall(fb, "M.a", dst=0),
+                        Return(Local(0))], params=0, static=True, locals_=2)
+    b.static_method("M", "main", [
+        Loop(Const(trips), 0, [StaticCall(entry_site, "M.a", dst=1)]),
+        Return(Const(0)),
+    ], locals_=4)
+    b.entry("M.main")
+    return b.build(), {"a": fa, "b": fb, "entry": entry_site}
+
+
+class TestTermination:
+    """Regression tests: the frequency walk must terminate on recursive
+    call graphs and respect its weight cutoff and loop clamp."""
+
+    def test_mutual_recursion_terminates_with_clamped_weight(self):
+        program, sites = build_mutual_recursion_program()
+        graph = build_call_graph(program)
+        # The million-trip loop clamps to LOOP_TRIP_CAP; the cyclic edges
+        # contribute nothing once a method is on the walk stack, so each
+        # method sees exactly the loop's clamped frequency.
+        assert graph.method_frequency["M.a"] == pytest.approx(LOOP_TRIP_CAP)
+        assert graph.method_frequency["M.b"] == pytest.approx(LOOP_TRIP_CAP)
+        assert graph.sites[sites["entry"]].frequency == \
+            pytest.approx(LOOP_TRIP_CAP)
+
+    def test_mutual_recursion_all_reachable(self):
+        program, _sites = build_mutual_recursion_program()
+        graph = build_call_graph(program, precision=RTA)
+        assert {"M.a", "M.b", "M.main"} <= graph.reachable
+        assert graph.dead_methods() == []
+
+    def test_min_weight_cutoff_stops_deep_cold_chains(self):
+        # 40 nested If levels halve the weight at each step; past
+        # 0.5**i < MIN_PROPAGATED_WEIGHT the walk must stop contributing
+        # even though the tail methods stay statically reachable.
+        n = 40
+        b = ProgramBuilder("deepchain")
+        b.cls("M")
+        sites = [b.site() for _ in range(n)]
+        for i in range(n):
+            b.method("M", f"f{i}", [
+                If(Const(1), [StaticCall(sites[i], f"M.f{i + 1}", dst=0)]),
+                Return(Const(0)),
+            ], params=0, static=True, locals_=2)
+        b.method("M", f"f{n}", [Work(1), Return(Const(0))],
+                 params=0, static=True)
+        main_site = b.site()
+        b.static_method("M", "main", [
+            StaticCall(main_site, "M.f0", dst=0),
+            Return(Local(0)),
+        ], locals_=2)
+        b.entry("M.main")
+        graph = build_call_graph(b.build())
+
+        assert graph.method_frequency["M.f10"] == pytest.approx(0.5 ** 10)
+        # 0.5**29 is still above the cutoff, 0.5**30 is below it.
+        assert 0.5 ** 29 >= MIN_PROPAGATED_WEIGHT > 0.5 ** 30
+        assert "M.f29" in graph.method_frequency
+        assert "M.f30" not in graph.method_frequency
+        # Reachability is weight-blind: the cold tail is still live code.
+        assert f"M.f{n}" in graph.reachable
+
+
+class TestPublicHelpers:
+    """The helpers the k-CFA builder shares with the flat builder."""
+
+    def test_method_site_multipliers_matches_loop_structure(self):
+        program, site = build_partial_alloc_program()
+        mults = method_site_multipliers(program.method("Main.main"))
+        assert mults == {site: pytest.approx(4.0)}
+
+    def test_site_kind_classifies_statements(self):
+        program, site = build_partial_alloc_program()
+        main = program.method("Main.main")
+        kinds = {}
+        from repro.compiler.opt_compiler import iter_call_sites
+        for stmt in iter_call_sites(main.body):
+            kinds[stmt.site] = site_kind(stmt)
+        assert kinds[site] == ("virtual", "ping")
 
 
 class TestSummaries:

@@ -204,6 +204,45 @@ class TestAnalyzeCommand:
         with pytest.raises(SystemExit):
             main(["analyze", "--benchmarks", "quake"])
 
+    def test_analyze_precision_selects_tiers(self, capsys):
+        code = main(["analyze", "--benchmarks", "compress",
+                     "--scale", "0.05", "--no-soundness",
+                     "--precision", "rta", "0cfa", "kcfa", "--k", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "  rta" in out and "  0cfa" in out and "  1cfa" in out
+        assert "  cha" not in out
+
+    def test_analyze_unknown_precision_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--benchmarks", "compress",
+                  "--precision", "5cfa"])
+
+    def test_analyze_lattice_reports_rescued_sites(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "lattice.json")
+        code = main(["analyze", "--benchmarks", "jess",
+                     "--scale", "0.05", "--lattice", "-o", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Acceptance: >=1 site RTA calls polymorphic that 1-CFA proves
+        # context-monomorphic, visible in the human summary.
+        assert "rta-poly->1cfa-ctx-mono" in out
+        assert "rta-poly->1cfa-ctx-mono: 0 site(s)" not in out
+        assert "containment ok" in out
+        assert "observed ⊆ 2cfa ⊆ 1cfa ⊆ 0cfa ⊆ rta ⊆ cha" in out
+
+        with open(out_path) as handle:
+            bundle = json.load(handle)
+        assert bundle["ok"] is True
+        (report,) = bundle["reports"]
+        assert report["lattice"]["ok"]
+        assert report["lattice"]["rescued_sites"]["1cfa"]
+        assert report["soundness"]["violation_codes"] == []
+        assert [t["precision"] for t in report["soundness"]["tiers"]] == \
+            ["cha", "rta", "0cfa", "1cfa", "2cfa"]
+
 
 class TestAttributeStatic:
     def test_diff_with_static_attribution(self, tmp_path, capsys):

@@ -1,0 +1,169 @@
+"""Unit tests for the k-CFA context-sensitive call graph."""
+
+import pytest
+
+from conftest import build_context_program, build_diamond_program
+from repro.analysis.callgraph import RTA, build_call_graph
+from repro.analysis.kcfa import (MAX_K, build_kcfa_graph, extend,
+                                 strings_compatible, truncate)
+
+
+class TestCallStrings:
+    def test_truncate_keeps_innermost(self):
+        assert truncate((1, 2, 3), 2) == (1, 2)
+        assert truncate((1, 2, 3), 0) == ()
+        assert truncate((), 3) == ()
+
+    def test_extend_pushes_innermost_first(self):
+        assert extend(9, (1, 2), 3) == (9, 1, 2)
+        assert extend(9, (1, 2), 2) == (9, 1)
+        assert extend(9, (1, 2), 0) == ()
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_truncation_commutes_with_extension(self, k):
+        # push_k(s, c)[:k-1] == push_{k-1}(s, c[:k-1]) -- the identity the
+        # refinement-by-construction argument rests on.
+        ctx = (11, 22, 33)
+        assert truncate(extend(7, ctx, k), k - 1) == \
+            extend(7, truncate(ctx, k - 1), k - 1)
+
+    def test_empty_prefix_compatible_with_everything(self):
+        assert strings_compatible((), (1, 2, 3))
+        assert strings_compatible((), ())
+
+    def test_compatible_on_overlap_wildcard_beyond(self):
+        assert strings_compatible((1,), (1, 2, 3))
+        assert strings_compatible((1, 2, 3), (1,))
+        assert not strings_compatible((1, 9), (1, 2, 3))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k", [-1, MAX_K + 1])
+    def test_out_of_range_k_rejected(self, k):
+        program, _sites = build_diamond_program()
+        with pytest.raises(ValueError):
+            build_kcfa_graph(program, k=k)
+
+    def test_precision_label_tracks_k(self):
+        program, _sites = build_diamond_program()
+        assert build_kcfa_graph(program, k=0).precision == "0cfa"
+        assert build_kcfa_graph(program, k=2).precision == "2cfa"
+
+    def test_entry_analyzed_under_empty_context(self):
+        program, _sites = build_diamond_program()
+        graph = build_kcfa_graph(program, k=2)
+        assert graph.contexts[graph.entry] == ((),)
+
+    def test_zero_cfa_has_one_context_per_method(self):
+        program, _sites = build_diamond_program()
+        graph = build_kcfa_graph(program, k=0)
+        assert all(ctxs == ((),) for ctxs in graph.contexts.values())
+
+    def test_diamond_dispatch_targets(self):
+        program, sites = build_diamond_program()
+        graph = build_kcfa_graph(program, k=1)
+        # Each dispatch in Main.run sees exactly the class flowing into
+        # its receiver argument -- sharper than RTA's alloc-set answer.
+        assert graph.targets(sites["ping_a"]) == {"A.ping"}
+        assert graph.targets(sites["ping_b"]) == {"B.ping"}
+        assert graph.is_monomorphic(sites["ping_a"])
+
+
+class TestRefinementChain:
+    @pytest.mark.parametrize("build", [build_diamond_program,
+                                       build_context_program])
+    def test_each_tier_contained_in_the_previous(self, build):
+        program, _sites = build()
+        rta = build_call_graph(program, precision=RTA)
+        graphs = [build_kcfa_graph(program, k=k) for k in (0, 1, 2)]
+        all_sites = set(rta.sites) | {s for g in graphs for s in g.sites}
+        for site in all_sites:
+            assert graphs[0].targets(site) <= rta.targets(site)
+            for coarse, fine in zip(graphs, graphs[1:]):
+                assert fine.targets(site) <= coarse.targets(site)
+
+
+class TestContextRescue:
+    def test_zero_cfa_joins_both_flows(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=0)
+        assert graph.targets(sites["disp"]) == {"A.ping", "B.ping"}
+        assert not graph.context_monomorphic(sites["disp"])
+
+    def test_one_cfa_splits_helper_by_calling_site(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        assert set(graph.contexts["C.helper"]) == \
+            {(sites["c1"],), (sites["c2"],)}
+        assert graph.targets(sites["disp"],
+                             context=(sites["c1"],)) == {"A.ping"}
+        assert graph.targets(sites["disp"],
+                             context=(sites["c2"],)) == {"B.ping"}
+        assert graph.context_monomorphic(sites["disp"])
+        # The context-insensitive union is still polymorphic: the rescue
+        # is purely a context-sensitivity effect.
+        assert graph.targets(sites["disp"]) == {"A.ping", "B.ping"}
+
+    def test_targets_for_prefix_joins_compatible_contexts(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        disp = sites["disp"]
+        assert graph.targets_for_prefix(disp, (sites["c1"],)) == {"A.ping"}
+        assert graph.targets_for_prefix(disp, (sites["c2"],)) == {"B.ping"}
+        # No known prefix -> every context is compatible -> the union.
+        assert graph.targets_for_prefix(disp, ()) == {"A.ping", "B.ping"}
+
+    def test_prefix_weight_partitions_site_weight(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        disp = sites["disp"]
+        w1 = graph.prefix_weight(disp, (sites["c1"],))
+        w2 = graph.prefix_weight(disp, (sites["c2"],))
+        assert w1 > 0 and w2 > 0
+        assert w1 + w2 == pytest.approx(graph.site_weight(disp))
+
+    def test_predicted_majority_follows_context(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        disp = sites["disp"]
+        assert graph.predicted_majority(disp, (sites["c1"],)) == "A.ping"
+        assert graph.predicted_majority(disp, (sites["c2"],)) == "B.ping"
+
+    def test_unknown_site_queries_are_empty(self, ctxprog):
+        program, _sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        assert graph.targets(424242) == frozenset()
+        assert graph.targets_for_prefix(424242, ()) == frozenset()
+        assert graph.predicted_majority(424242, ()) is None
+        assert graph.prefix_weight(424242, ()) == 0.0
+
+
+class TestFrequencies:
+    def test_context_frequencies_sum_to_site_frequency(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        info = graph.sites[sites["disp"]]
+        assert info.frequency == pytest.approx(
+            sum(ct.frequency for ct in info.by_context.values()))
+        assert all(ct.frequency > 0 for ct in info.by_context.values())
+
+    def test_monomorphic_context_concentrates_weight(self, ctxprog):
+        program, sites = ctxprog
+        graph = build_kcfa_graph(program, k=1)
+        ct = graph.sites[sites["disp"]].by_context[(sites["c1"],)]
+        ((target, weight),) = ct.target_weights
+        assert target == "A.ping"
+        assert weight == pytest.approx(ct.frequency)
+
+
+class TestSummary:
+    def test_summary_counts_rescued_sites(self, ctxprog):
+        program, _sites = ctxprog
+        summary = build_kcfa_graph(program, k=1).summary()
+        assert summary["precision"] == "1cfa"
+        assert summary["k"] == 1
+        assert summary["dispatched_sites"] == 1
+        assert summary["monomorphic_sites"] == 0
+        assert summary["context_monomorphic_sites"] == 1
+        assert summary["context_rescued_sites"] == 1
+        assert summary["max_contexts_per_method"] == 2

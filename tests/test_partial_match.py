@@ -39,6 +39,30 @@ class TestContextsCompatible:
                                    (("C", 1), ("B", 2), ("Z", 9)))
 
 
+class TestDegenerateContexts:
+    """Edge cases at the boundaries of Equation 3's min(k, j) overlap."""
+
+    def test_empty_rule_context_matches_any_compilation_context(self):
+        # A depth-0 rule constrains nothing: the overlap is empty, so
+        # compatibility is vacuous regardless of compilation depth.
+        assert contexts_compatible((), (("C", 1), ("B", 2), ("A", 3)))
+        assert contexts_compatible((), ())
+
+    def test_empty_compilation_context_matches_any_rule(self):
+        assert contexts_compatible((("C", 1), ("B", 2), ("A", 3)), ())
+
+    def test_compatibility_symmetric_on_the_overlap(self):
+        # Eq. 3 only inspects the shared prefix, so swapping the rule and
+        # compilation sides can never change the verdict.
+        shallow = (("C", 1),)
+        deep_match = (("C", 1), ("B", 2), ("A", 3))
+        deep_clash = (("C", 2), ("B", 2))
+        assert contexts_compatible(deep_match, shallow) == \
+            contexts_compatible(shallow, deep_match) is True
+        assert contexts_compatible(deep_clash, shallow) == \
+            contexts_compatible(shallow, deep_clash) is False
+
+
 class TestApplicableRules:
     def test_filters_by_compatibility(self):
         rules = [rule("D", ("C", 1), ("B", 2)),
@@ -112,3 +136,10 @@ class TestHelpers:
     def test_ordered_candidates_hottest_first(self):
         ordered = ordered_candidates({"A": 1.0, "B": 5.0, "C": 5.0})
         assert ordered == [("B", 5.0), ("C", 5.0), ("A", 1.0)]
+
+    def test_ordered_candidates_ties_ignore_insertion_order(self):
+        # Guard-target order feeds compiled-code layout, so all-tied
+        # weights must order identically however the dict was built.
+        forward = ordered_candidates({"A": 2.0, "M": 2.0, "X": 2.0})
+        backward = ordered_candidates({"X": 2.0, "M": 2.0, "A": 2.0})
+        assert forward == backward == [("A", 2.0), ("M", 2.0), ("X", 2.0)]

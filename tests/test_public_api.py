@@ -47,7 +47,8 @@ class TestQuickstartContract:
 
     def test_policy_labels_stable(self):
         # Downstream users key on these labels; renaming breaks them.
-        # (Additions go at the end: "static" is the no-profile baseline.)
+        # (Additions go at the end: "static"/"static-k" are the
+        # no-profile baselines.)
         assert repro.POLICY_LABELS == (
             "cins", "fixed", "paramLess", "class", "large", "hybrid1",
-            "hybrid2", "imprecision", "static")
+            "hybrid2", "imprecision", "static", "static-k")

@@ -3,12 +3,19 @@
 import pytest
 
 from repro.analysis.callgraph import CHA, build_call_graph
+from repro.analysis.kcfa import build_kcfa_graph
 from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
                                       ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
-                                      attribute_flips, check_containment,
+                                      attribute_flips,
+                                      check_containment,
+                                      check_context_containment,
+                                      check_lattice_soundness,
                                       check_soundness,
+                                      flatten_context_edges,
+                                      observe_context_edges,
                                       observe_dispatch_edges,
-                                      render_attribution)
+                                      render_attribution,
+                                      truncate_context_edges)
 from repro.aos.runtime import AdaptiveRuntime
 from repro.policies import make_policy
 from repro.provenance.diff import FLIP_VERDICT, DecisionDiff, Flip
@@ -68,6 +75,68 @@ class TestContainment:
         from repro.workloads.spec import build_benchmark
         program = build_benchmark(name, scale=0.05).program
         report = check_soundness(program)
+        assert report.ok, report.render()
+
+
+class TestContextObserver:
+    def test_edges_qualified_by_dynamic_call_string(self, ctxprog):
+        program, sites = ctxprog
+        edges = observe_context_edges(program, k=2)
+        key_a = (sites["disp"], (sites["c1"], sites["call1"]))
+        key_b = (sites["disp"], (sites["c2"], sites["call2"]))
+        assert edges[key_a] == {"A.ping": 10}
+        assert edges[key_b] == {"B.ping": 10}
+
+    def test_truncate_merges_counts(self, ctxprog):
+        program, sites = ctxprog
+        edges = observe_context_edges(program, k=2)
+        flat = truncate_context_edges(edges, 0)
+        assert flat[(sites["disp"], ())] == {"A.ping": 10, "B.ping": 10}
+
+    def test_flatten_drops_contexts(self, ctxprog):
+        program, sites = ctxprog
+        edges = observe_context_edges(program, k=2)
+        assert flatten_context_edges(edges)[sites["disp"]] == \
+            frozenset({"A.ping", "B.ping"})
+
+
+class TestLatticeSoundness:
+    def test_chain_contained_at_every_tier(self, ctxprog):
+        program, _sites = ctxprog
+        report = check_lattice_soundness(program)
+        assert report.ok
+        assert [s.precision for s in report.sections] == \
+            ["cha", "rta", "0cfa", "1cfa", "2cfa"]
+        assert report.violation_codes() == ()
+        assert "contained at every tier" in report.render()
+
+    def test_context_violation_names_tier_and_context(self, ctxprog):
+        program, sites = ctxprog
+        kgraph = build_kcfa_graph(program, k=1)
+        # Doctored CCT: under the c1 chain only A.ping is allowed.
+        doctored = {(sites["disp"], (sites["c1"],)): {"B.ping": 3}}
+        report = check_context_containment(kgraph, doctored)
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation.code == "unsound-1cfa"
+        assert violation.context == (sites["c1"],)
+        assert violation.observed == "B.ping"
+        assert "ctx=" in violation.describe()
+
+    def test_reused_edges_match_fresh_replay(self, ctxprog):
+        program, _sites = ctxprog
+        edges = observe_context_edges(program, k=2)
+        fresh = check_lattice_soundness(program)
+        reused = check_lattice_soundness(program, edges=edges)
+        assert reused.ok == fresh.ok
+        assert [s.edges_observed for s in reused.sections] == \
+            [s.edges_observed for s in fresh.sections]
+
+    @pytest.mark.parametrize("name", ["jess", "db"])
+    def test_benchmarks_lattice_sound(self, name):
+        from repro.workloads.spec import build_benchmark
+        program = build_benchmark(name, scale=0.05).program
+        report = check_lattice_soundness(program)
         assert report.ok, report.render()
 
 
