@@ -1,0 +1,103 @@
+"""Record the checked-in fleet perf baseline (``BENCH_fleet_baseline.json``).
+
+Runs the deterministic fleet experiment (founder fleet -> warm and cold
+late joiners) on a few benchmarks and captures the cycle numbers the
+ROADMAP asks to track from here on: cycles to the first stable inline
+rule and cycles to steady state, cold vs warm-started.  Everything is
+fixed-seed and simulated-cycle-exact, so the baseline only moves when
+the system's behaviour moves.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py          # rewrite
+    PYTHONPATH=src python benchmarks/record_bench.py --check  # CI drift gate
+
+``--check`` re-measures and exits non-zero if the committed baseline no
+longer matches (same contract as the golden decision log).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fleet.report import benchmark_report  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_fleet_baseline.json")
+
+#: The tracked configuration: small enough to re-measure in CI, big
+#: enough that warm starts have something to eliminate.
+BENCHMARKS = ("jess", "db", "javac")
+INSTANCES = 3
+SCALE = 0.1
+
+
+def measure() -> dict:
+    rows = {}
+    for name in BENCHMARKS:
+        report = benchmark_report(name, instances=INSTANCES, scale=SCALE,
+                                  jobs=1)
+        elimination = report["cold_start_elimination"]
+        rows[name] = {
+            "first_rule_clock_cold": elimination["first_rule_clock_cold"],
+            "first_rule_clock_warm": elimination["first_rule_clock_warm"],
+            "steady_state_cold": elimination["steady_state_cold"],
+            "steady_state_warm": elimination["steady_state_warm"],
+            "total_cycles_cold": elimination["total_cycles_cold"],
+            "total_cycles_warm": elimination["total_cycles_warm"],
+            "fleet_warm_decisions": report["warm"]["fleet_warm_decisions"],
+            "warm_rules": report["warm_profile"]["rules"],
+        }
+    return {
+        "schema": "repro.bench-fleet/v1",
+        "config": {"benchmarks": list(BENCHMARKS),
+                   "instances": INSTANCES, "scale": SCALE,
+                   "family": "fixed", "depth": 2},
+        "benchmarks": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed baseline instead of "
+                             "rewriting it")
+    parser.add_argument("--out", default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    baseline = measure()
+    payload = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    if args.check:
+        try:
+            with open(args.out) as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            print(f"no baseline at {args.out}; run without --check first",
+                  file=sys.stderr)
+            return 1
+        if committed != payload:
+            print("fleet perf baseline drifted; re-record with "
+                  "`python benchmarks/record_bench.py` and commit the "
+                  "diff if the change is intended", file=sys.stderr)
+            return 1
+        print(f"baseline up to date ({args.out})")
+        return 0
+
+    with open(args.out, "w") as handle:
+        handle.write(payload)
+    for name, row in baseline["benchmarks"].items():
+        saved = row["first_rule_clock_cold"] - row["first_rule_clock_warm"]
+        print(f"{name}: first rule cold {row['first_rule_clock_cold']:,.0f} "
+              f"-> warm {row['first_rule_clock_warm']:,.0f} "
+              f"(saves {saved:,.0f} cycles)")
+    print(f"baseline -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,11 @@ from repro.provenance import (DecisionRecord, EventKind, ProvenanceRecorder,
                               ReasonCode, diff_logs, explain_method,
                               read_decision_log, render_diff)
 
+# -- fleet profile service ---------------------------------------------------------------
+from repro.fleet import (FleetConfig, ShardedProfileStore, WarmProfile,
+                         apply_warm_start, build_fleet_bundle,
+                         build_warm_profile, program_fingerprint, run_fleet)
+
 # -- static analysis ---------------------------------------------------------------------
 from repro.analysis import (SoundnessReport, StaticCallGraph, StaticOracle,
                             VerificationReport, VerifierError,
@@ -96,7 +101,8 @@ __all__ = [
     "ContextInsensitive", "ContextSensitivityPolicy", "CostAccounting",
     "CostModel", "DEFAULT_COSTS", "Decision", "DecisionRecord",
     "DynamicCallGraph", "EventKind",
-    "ExecutionError", "Expr", "FixedLevel", "Frame", "GuardOption", "If",
+    "ExecutionError", "Expr", "FixedLevel", "FleetConfig", "Frame",
+    "GuardOption", "If",
     "ImprecisionDriven", "InlineDecision", "InlineNode", "InlineOracle",
     "InterfaceCall",
     "InlineRule", "Instance", "LargeMethods", "Let", "Local", "Loop",
@@ -106,19 +112,22 @@ __all__ = [
     "NullRecorder",
     "ParameterlessMethods", "Pick", "Program", "ProgramError",
     "ProvenanceRecorder", "ReasonCode", "ReproError",
-    "Return", "RunResult", "SizeClass", "SoundnessReport", "StaticCall",
+    "Return", "RunResult", "ShardedProfileStore", "SizeClass",
+    "SoundnessReport", "StaticCall",
     "StaticCallGraph", "StaticOracle", "StaticOraclePolicy", "Stmt", "Sub",
     "TelemetryRecorder", "TelemetrySnapshot",
     "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
     "VerificationReport", "VerifierError",
-    "VirtualCall", "Work", "analyze_program", "applicable_rules",
+    "VirtualCall", "WarmProfile", "Work", "analyze_program",
+    "applicable_rules", "apply_warm_start",
     "attribute_flips", "body_bytecodes", "build_call_graph",
+    "build_fleet_bundle", "build_warm_profile",
     "candidate_targets", "check_soundness", "classify",
     "contexts_compatible", "diff_logs",
     "dynamic_class",
     "estimate_inlined_bytecodes", "explain_method", "format_trace",
     "is_large",
     "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
-    "physical_method", "read_decision_log", "render_diff",
-    "to_chrome_trace", "verify_program",
+    "physical_method", "program_fingerprint", "read_decision_log",
+    "render_diff", "run_fleet", "to_chrome_trace", "verify_program",
 ]

@@ -38,11 +38,25 @@ from repro.jvm.costs import CostModel
 from repro.policies.base import ContextSensitivityPolicy
 from repro.profiles.dcg import DynamicCallGraph
 from repro.profiles.partial_match import candidate_targets
-from repro.profiles.trace import InlineRule
+from repro.profiles.trace import ORIGIN_FLEET, ORIGIN_LOCAL, InlineRule
 
 #: Hard cap on optimizing recompilations of one method, bounding any
 #: recompile churn from rapidly-shifting early profiles.
 MAX_OPT_VERSIONS = 4
+
+
+def rules_fingerprint_of(rules) -> int:
+    """Process-independent fingerprint of a rule set.
+
+    The builtin ``hash()`` is salted by PYTHONHASHSEED, so the AOS uses a
+    CRC over the sorted-stable rule identity instead: rule-set equality
+    still gates recompilation, and decision-provenance logs recorded on
+    different machines carry comparable fingerprints.  Shared by the AI
+    organizer and the fleet warm-start bootstrap so a warm-seeded rule
+    set and its first local re-derivation agree byte-for-byte.
+    """
+    return zlib.crc32(repr(
+        tuple((r.key.callee, r.key.context) for r in rules)).encode())
 
 
 class AOSState:
@@ -53,6 +67,11 @@ class AOSState:
         self.rules: List[InlineRule] = []
         self.rules_fingerprint: int = 0
         self.method_samples: Dict[str, float] = {}
+        #: Trace keys seeded from fleet-aggregated profiles (empty for
+        #: cold runs).  Rules over these keys keep ``origin="fleet"``
+        #: even when the AI organizer re-derives them from the (seeded)
+        #: DCG, so warm-start decisions stay provenance-traceable.
+        self.warm_keys: frozenset = frozenset()
 
     def total_method_samples(self) -> float:
         return sum(self.method_samples.values())
@@ -139,17 +158,14 @@ class AIOrganizer:
                 del self._active[key]
                 del self._cold_streak[key]
 
-        rules = [InlineRule(key, weight, weight / total if total else 0.0)
+        rules = [InlineRule(key, weight, weight / total if total else 0.0,
+                            origin=(ORIGIN_FLEET if key in state.warm_keys
+                                    else ORIGIN_LOCAL))
                  for key, weight in sorted(
                      self._active.items(),
                      key=lambda kv: (-kv[1], kv[0].callee, kv[0].context))]
         state.rules = rules
-        # A process-independent fingerprint (builtin hash() is salted by
-        # PYTHONHASHSEED): rule-set equality still gates recompilation,
-        # and decision-provenance logs recorded on different machines now
-        # carry comparable fingerprints.
-        state.rules_fingerprint = zlib.crc32(repr(
-            tuple((r.key.callee, r.key.context) for r in rules)).encode())
+        state.rules_fingerprint = rules_fingerprint_of(rules)
         return rules
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.aos.controller import CompilationThread, Controller
 from repro.aos.cost_accounting import (AI_ORGANIZER, ALL_COMPONENTS, APP,
@@ -76,6 +76,17 @@ class RunResult:
     calls: int
     osr_transfers: int
     invalidations: int
+
+    # -- warm-start / fleet metrics (defaults keep old cached cells loadable) --
+    #: Clock at which the rule set first became non-empty (0.0 for
+    #: warm-started runs, ``None`` when no rule ever surfaced).
+    first_rule_clock: Optional[float] = None
+    #: Clock of the last optimizing compilation -- the run's
+    #: cycles-to-steady-state proxy (``None`` when nothing compiled).
+    steady_state_clock: Optional[float] = None
+    #: Whether this runtime was bootstrapped from fleet-aggregated
+    #: profiles before executing.
+    warm_started: bool = False
 
     @property
     def app_cycles(self) -> float:
@@ -158,6 +169,22 @@ class AdaptiveRuntime:
         # the best of 20 runs precisely because sampling phase shifts the
         # adaptive system's decisions.  Experiments sweep a few phases and
         # aggregate.
+        # -- warm-start bookkeeping (see repro.fleet.bootstrap) ----------------
+        #: Clock at which the rule set first became non-empty.  Cold runs
+        #: discover it at an organizer wake; the fleet bootstrap sets it
+        #: to 0.0 when it installs warm rules before execution.
+        self.first_rule_clock: Optional[float] = None
+        #: True when profile state was seeded from fleet-aggregated data.
+        self.warm_started = False
+        #: Optional hook called after every periodic organizer wake with
+        #: ``(runtime, epoch_index)``.  Pure observation on the host
+        #: (Python) side: it is invoked outside any cycle charging, so a
+        #: run with an observer stays cycle-identical to one without --
+        #: the same zero-overhead contract as telemetry and provenance.
+        self.epoch_observer: \
+            Optional[Callable[["AdaptiveRuntime", int], None]] = None
+        self._epoch = 0
+
         if not 0.0 <= sample_phase < 1.0:
             raise ValueError(f"sample_phase must be in [0, 1), "
                              f"got {sample_phase}")
@@ -235,7 +262,12 @@ class AdaptiveRuntime:
         if self.state.rules_fingerprint != fingerprint:
             telemetry.instant(AI_ORGANIZER, "rules_changed",
                               rules=len(self.state.rules))
+        if self.first_rule_clock is None and self.state.rules:
+            self.first_rule_clock = machine.clock
         telemetry.end_span(wake_id)
+        self._epoch += 1
+        if self.epoch_observer is not None:
+            self.epoch_observer(self, self._epoch)
 
     # -- OSR ---------------------------------------------------------------------
 
@@ -337,4 +369,8 @@ class AdaptiveRuntime:
             calls=machine.stats.calls,
             osr_transfers=machine.stats.osr_transfers,
             invalidations=self.database.invalidation_count,
+            first_rule_clock=self.first_rule_clock,
+            steady_state_clock=(self.database.compilations[-1].clock
+                                if self.database.compilations else None),
+            warm_started=self.warm_started,
         )

@@ -33,6 +33,14 @@ Commands
     cycle/code-space deltas to the flips.  ``diff --attribute-static``
     additionally classifies each flip by what the static call graph
     knows of its site (static-vs-profile disagreement vs budget effects).
+``fleet``
+    Run the multi-instance fleet experiment: N founder instances of each
+    benchmark (different workload seeds) stream profile deltas into the
+    sharded fleet store, then a late-joining instance runs twice -- cold
+    and warm-started from the fleet aggregate -- under decision
+    provenance.  Prints cold-start elimination, dilution, and
+    eviction-policy sensitivity; ``-o`` writes the versioned
+    ``repro.fleet/v1`` JSON bundle.
 ``analyze``
     Static analysis over benchmarks: run the program verifier, build
     call graphs at the requested precision tiers (``--precision cha rta
@@ -198,6 +206,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            "static-vs-profile disagreement (polymorphic "
                            "sites) vs budget/ordering effects (monomorphic "
                            "sites); needs both logs from the same benchmark")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N instances per benchmark, aggregate their profiles in "
+             "the sharded fleet store, and measure warm-start cold-start "
+             "elimination for a late joiner")
+    fleet.add_argument("--benchmarks", nargs="*", default=None,
+                       choices=BENCHMARK_ORDER,
+                       help="benchmarks to run (default: jess db)")
+    fleet.add_argument("--instances", type=int, default=3,
+                       help="founder instances feeding the store")
+    fleet.add_argument("--scale", type=float, default=0.1,
+                       help="run-length scale factor per instance")
+    fleet.add_argument("--policy", default="fixed", choices=POLICY_LABELS)
+    fleet.add_argument("--depth", type=int, default=2,
+                       help="maximum context-sensitivity depth")
+    fleet.add_argument("--heterogeneous",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="vary workload seeds across instances "
+                            "(--no-heterogeneous runs every instance on "
+                            "the spec seed)")
+    fleet.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = one per instance)")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="per-instance timeout in seconds when running "
+                            "on a worker pool")
+    fleet.add_argument("-o", "--out", default=None,
+                       help="also write the repro.fleet/v1 JSON bundle "
+                            "here")
 
     analyze = sub.add_parser(
         "analyze",
@@ -445,6 +482,24 @@ def _cmd_decisions(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.fleet import (build_fleet_bundle, render_fleet_bundle,
+                             write_fleet_bundle)
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else ("jess", "db")
+    bundle = build_fleet_bundle(benchmarks, instances=args.instances,
+                                scale=args.scale, family=args.policy,
+                                depth=args.depth,
+                                heterogeneous=args.heterogeneous,
+                                jobs=args.jobs, timeout=args.timeout,
+                                verbose=True)
+    print(render_fleet_bundle(bundle))
+    if args.out:
+        write_fleet_bundle(args.out, bundle)
+        print(f"bundle -> {args.out}")
+    return 0 if bundle["ok"] else 1
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import (analyze_benchmark, bundle_reports,
                                 render_bundle, write_report)
@@ -476,6 +531,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "explain": _cmd_explain,
     "decisions": _cmd_decisions,
+    "fleet": _cmd_fleet,
     "analyze": _cmd_analyze,
 }
 

@@ -1,0 +1,44 @@
+"""Fleet profile service: sharded aggregation and warm starts.
+
+The paper's adaptive system learns context-sensitive inline rules from a
+single runtime's private CCT/DCG profiles.  Datacenter-scale PGO
+(AutoFDO-style, see PAPERS.md) gets its leverage from aggregating
+sampled profiles *across a fleet* of instances running the same program
+and warm-starting new instances from the aggregate.  This package is
+that layer for the simulated AOS:
+
+* :mod:`repro.fleet.store` -- a sharded profile store keyed by (program
+  fingerprint, method, context-prefix), with versioned atomic
+  snapshot/merge, decay-based staleness eviction, and per-shard
+  contribution counts;
+* :mod:`repro.fleet.harness` -- a multi-instance harness that runs N
+  simulated runtimes over the same program with different workload
+  seeds and streams each instance's profile deltas into the store at
+  epoch boundaries;
+* :mod:`repro.fleet.bootstrap` -- warm-start: derive a seed profile and
+  fleet-origin rules from the aggregate and install them into a fresh
+  :class:`~repro.aos.runtime.AdaptiveRuntime` before it executes;
+* :mod:`repro.fleet.report` -- the ``repro fleet`` experiment: cold-start
+  elimination, dilution, and eviction-policy sensitivity, emitted as a
+  versioned ``repro.fleet/v1`` bundle.
+"""
+
+from repro.fleet.bootstrap import (WarmProfile, apply_warm_start,
+                                   build_warm_profile)
+from repro.fleet.harness import (FleetConfig, FleetOutcome, InstanceFailure,
+                                 ProfileDelta, instance_spec, run_fleet,
+                                 run_instance)
+from repro.fleet.report import (FLEET_SCHEMA, build_fleet_bundle,
+                                render_fleet_bundle, validate_fleet_bundle,
+                                write_fleet_bundle)
+from repro.fleet.store import (STORE_SCHEMA, ShardedProfileStore,
+                               merge_snapshots, program_fingerprint)
+
+__all__ = [
+    "FLEET_SCHEMA", "FleetConfig", "FleetOutcome", "InstanceFailure",
+    "ProfileDelta", "STORE_SCHEMA", "ShardedProfileStore", "WarmProfile",
+    "apply_warm_start", "build_fleet_bundle", "build_warm_profile",
+    "instance_spec", "merge_snapshots", "program_fingerprint",
+    "render_fleet_bundle", "run_fleet", "run_instance",
+    "validate_fleet_bundle", "write_fleet_bundle",
+]

@@ -1,0 +1,134 @@
+"""Warm-start bootstrap: seed a fresh runtime from fleet profiles.
+
+A late-joining instance should not have to relearn what the fleet
+already knows.  :func:`build_warm_profile` turns the store's aggregate
+for one program into a seed profile: trace weights rescaled to a
+credible local magnitude plus fleet-origin
+:class:`~repro.profiles.trace.InlineRule` objects for every trace above
+the hot-edge threshold.  :func:`apply_warm_start` installs that into a
+fresh :class:`~repro.aos.runtime.AdaptiveRuntime` before it executes:
+
+* the DCG is pre-charged with the scaled weights, so the controller's
+  ``first_compile_min_weight`` gate opens immediately and the AI
+  organizer's first wake re-derives the same rules from data rather
+  than dropping them;
+* ``state.rules`` carries the fleet rules from cycle 0, and
+  ``state.warm_keys`` keeps their origin sticky across re-derivations,
+  so the oracle can tag purely-fleet-driven verdicts ``fleet-warm``;
+* a ``warm_start`` provenance event records the bootstrap itself
+  (fingerprint, rule count, seeded weight), making every downstream
+  warm decision traceable to its source.
+
+The scaling rule: the aggregate's *relative* weights are what transfer
+between instances (different run lengths and decay states make absolute
+magnitudes incomparable), so the seed is normalized to
+``WARM_WEIGHT_FACTOR x max(ai_min_total_weight,
+first_compile_min_weight)`` -- just enough mass that the local organizer
+treats the seed as a mature profile, small enough that genuinely
+different local behaviour overtakes it within a few decay periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aos.organizers import rules_fingerprint_of
+from repro.aos.runtime import AdaptiveRuntime
+from repro.fleet.store import ShardedProfileStore, WireKey
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.profiles.trace import ORIGIN_FLEET, InlineRule, TraceKey
+from repro.provenance.reasons import EventKind
+
+#: The seeded profile's total weight, as a multiple of the larger of the
+#: organizer's two maturity gates.
+WARM_WEIGHT_FACTOR = 2.0
+
+
+@dataclass
+class WarmProfile:
+    """A fleet-derived seed profile for one program."""
+
+    fingerprint: str
+    #: Rescaled trace weights to pre-charge the DCG with.
+    trace_weights: Dict[TraceKey, float] = field(default_factory=dict)
+    #: Fleet-origin rules (hot traces of the aggregate).
+    rules: List[InlineRule] = field(default_factory=list)
+    #: Total weight of the store aggregate the profile was derived from.
+    source_weight: float = 0.0
+    #: Total weight actually seeded (after rescaling).
+    seeded_weight: float = 0.0
+
+    @property
+    def rule_keys(self) -> frozenset:
+        return frozenset(rule.key for rule in self.rules)
+
+
+def build_warm_profile(store: ShardedProfileStore, fingerprint: str,
+                       costs: CostModel = DEFAULT_COSTS) \
+        -> Optional[WarmProfile]:
+    """Derive a warm-start profile from the store's aggregate.
+
+    Returns ``None`` when the store holds nothing for the program (a
+    cold start is then the only option).  Hot traces -- above the same
+    ``hot_edge_threshold`` share the AI organizer uses -- become
+    fleet-origin rules; everything is folded in sorted key order so two
+    bootstraps from equal stores are identical.
+    """
+    aggregate = store.aggregate(fingerprint, plane="traces")
+    if not aggregate:
+        return None
+    source_weight = sum(aggregate[key] for key in sorted(aggregate))
+    if source_weight <= 0.0:
+        return None
+
+    target_weight = WARM_WEIGHT_FACTOR * max(costs.ai_min_total_weight,
+                                             costs.first_compile_min_weight)
+    scale = target_weight / source_weight
+
+    trace_weights: Dict[TraceKey, float] = {}
+    for wire in sorted(aggregate):
+        callee, context = wire
+        trace_weights[TraceKey(callee, context)] = aggregate[wire] * scale
+
+    cutoff = costs.hot_edge_threshold * target_weight
+    rules = [InlineRule(key, weight, weight / target_weight,
+                        origin=ORIGIN_FLEET)
+             for key, weight in sorted(
+                 trace_weights.items(),
+                 key=lambda kv: (-kv[1], kv[0].callee, kv[0].context))
+             if weight > cutoff]
+
+    return WarmProfile(fingerprint=fingerprint,
+                       trace_weights=trace_weights,
+                       rules=rules,
+                       source_weight=source_weight,
+                       seeded_weight=target_weight)
+
+
+def apply_warm_start(runtime: AdaptiveRuntime,
+                     warm: WarmProfile) -> int:
+    """Install a warm profile into a not-yet-run runtime.
+
+    Returns the number of rules installed.  Must be called before
+    ``runtime.run()``: the seed masquerades as profile data the runtime
+    observed "before" cycle 0, so the first organizer wake already sees
+    a mature profile.
+    """
+    state = runtime.state
+    for key in sorted(warm.trace_weights,
+                      key=lambda k: (k.callee, k.context)):
+        state.dcg.add(key, warm.trace_weights[key])
+
+    state.warm_keys = warm.rule_keys
+    state.rules = list(warm.rules)
+    state.rules_fingerprint = rules_fingerprint_of(state.rules)
+
+    runtime.first_rule_clock = 0.0 if warm.rules else None
+    runtime.warm_started = True
+    runtime.provenance.event(
+        EventKind.WARM_START, warm.fingerprint,
+        rules=len(warm.rules),
+        seeded_weight=round(warm.seeded_weight, 6),
+        source_weight=round(warm.source_weight, 6))
+    return len(warm.rules)

@@ -1,0 +1,388 @@
+"""The fleet report: cold-start elimination, dilution, eviction policy.
+
+``repro fleet`` runs, per benchmark: a founder fleet of N cold
+instances whose epoch streams fill the sharded store, then a
+*late-joining* instance twice over -- once cold (control) and once
+warm-started from the fleet aggregate -- both under decision
+provenance.  The report measures:
+
+* **cold-start elimination** -- cycles to the first stable inline rule
+  and cycles to steady state (last optimizing compile), warm vs cold;
+* **dilution** -- how far the shared aggregate diverges from each
+  instance's private hot set when heterogeneous seeds feed one store;
+* **eviction-policy sensitivity** -- the founder streams re-folded under
+  different (decay rate, idle-eviction) policies.
+
+Everything is emitted as a versioned ``repro.fleet/v1`` JSON bundle;
+:func:`validate_fleet_bundle` checks the structural and acceptance
+invariants (warm joiner faster to its first rule than cold, warm
+decisions present in provenance) so CI can gate on the bundle alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.aos.runtime import RunResult
+from repro.fleet.bootstrap import build_warm_profile
+from repro.fleet.harness import (FleetConfig, FleetOutcome, ProfileDelta,
+                                 fold_streams, run_fleet, run_instance)
+from repro.fleet.store import ShardedProfileStore, WireKey
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.metrics.report import format_table
+from repro.provenance.reasons import EventKind, ReasonCode
+from repro.provenance.recorder import ProvenanceRecorder
+
+#: Schema identifier of the fleet report bundle.
+FLEET_SCHEMA = "repro.fleet/v1"
+
+#: (decay rate, max idle epochs) grid for the eviction-sensitivity
+#: re-folds: aggressive, default, and retain-everything.
+EVICTION_GRID = ((0.5, 2), (0.8, 6), (1.0, 12))
+
+
+def _run_metrics(result: RunResult,
+                 fleet_warm_decisions: int = 0,
+                 warm_start_events: int = 0) -> dict:
+    return {
+        "total_cycles": result.total_cycles,
+        "app_cycles": result.app_cycles,
+        "first_rule_clock": result.first_rule_clock,
+        "steady_state_clock": result.steady_state_clock,
+        "opt_compilations": result.opt_compilations,
+        "rule_count": result.rule_count,
+        "guard_tests": result.guard_tests,
+        "guard_misses": result.guard_misses,
+        "warm_started": result.warm_started,
+        "fleet_warm_decisions": fleet_warm_decisions,
+        "warm_start_events": warm_start_events,
+    }
+
+
+def _provenance_counts(recorder: ProvenanceRecorder) -> tuple:
+    warm_decisions = sum(
+        1 for record in recorder.decisions
+        if record.reason == ReasonCode.FLEET_WARM.value)
+    warm_events = sum(
+        1 for record in recorder.events
+        if record.kind == EventKind.WARM_START.value)
+    return warm_decisions, warm_events
+
+
+def _instance_hot_sets(streams: Dict[str, List[ProfileDelta]],
+                       threshold: float) -> Dict[str, frozenset]:
+    """Each instance's own hot trace keys, from its cumulative stream."""
+    hot: Dict[str, frozenset] = {}
+    for instance_id in sorted(streams):
+        totals: Dict[WireKey, float] = {}
+        for delta in streams[instance_id]:
+            for key in sorted(delta.trace_weights):
+                totals[key] = totals.get(key, 0.0) + delta.trace_weights[key]
+        grand = sum(totals[key] for key in sorted(totals))
+        if grand <= 0.0:
+            hot[instance_id] = frozenset()
+            continue
+        cutoff = threshold * grand
+        hot[instance_id] = frozenset(key for key, weight in totals.items()
+                                     if weight > cutoff)
+    return hot
+
+
+def _dilution(outcome: FleetOutcome, warm_rule_keys: frozenset,
+              threshold: float) -> dict:
+    """How the shared aggregate relates to per-instance hot sets.
+
+    ``polluted_fraction``: mean share of aggregate rules an instance
+    never saw as hot itself (foreign behaviour it inherits on warm
+    start).  ``lost_fraction``: share of the union of instance-hot
+    traces that did not survive into the aggregate (per-instance signal
+    drowned by the fleet -- the paper's profile-dilution effect at the
+    fleet level).
+    """
+    # warm_rule_keys holds TraceKeys; reduce to wire tuples.
+    aggregate = frozenset((key.callee, key.context)
+                          for key in warm_rule_keys)
+    hot_sets = _instance_hot_sets(outcome.streams, threshold)
+    union_hot = frozenset().union(*hot_sets.values()) if hot_sets \
+        else frozenset()
+
+    polluted = sum(len(aggregate - hot_sets[instance_id]) / len(aggregate)
+                   for instance_id in sorted(hot_sets)) / len(hot_sets) \
+        if aggregate and hot_sets else 0.0
+    lost = (len(union_hot - aggregate) / len(union_hot)) if union_hot \
+        else 0.0
+    return {
+        "aggregate_rules": len(aggregate),
+        "union_hot_traces": len(union_hot),
+        "polluted_fraction": round(polluted, 4),
+        "lost_fraction": round(lost, 4),
+        "per_instance_hot": {instance_id: len(hot_sets[instance_id])
+                             for instance_id in sorted(hot_sets)},
+    }
+
+
+def _eviction_sensitivity(outcome: FleetOutcome, costs: CostModel) \
+        -> List[dict]:
+    """Re-fold the founder streams under different eviction policies."""
+    rows = []
+    for decay_rate, max_idle in EVICTION_GRID:
+        store = ShardedProfileStore(
+            num_shards=outcome.store.num_shards,
+            decay_rate=decay_rate, max_idle_epochs=max_idle)
+        fold_streams(store, outcome.fingerprint, outcome.streams)
+        warm = build_warm_profile(store, outcome.fingerprint, costs)
+        rows.append({
+            "decay_rate": decay_rate,
+            "max_idle_epochs": max_idle,
+            "surviving_entries": store.entry_count(outcome.fingerprint),
+            "evicted_total": store.evicted_total,
+            "warm_rules": len(warm.rules) if warm is not None else 0,
+        })
+    return rows
+
+
+def benchmark_report(benchmark: str, instances: int = 3,
+                     scale: float = 0.1, family: str = "fixed",
+                     depth: int = 2, heterogeneous: bool = True,
+                     jobs: int = 0, timeout: Optional[float] = None,
+                     costs: CostModel = DEFAULT_COSTS,
+                     verbose: bool = False) -> dict:
+    """The full fleet experiment for one benchmark."""
+    config = FleetConfig(benchmark=benchmark, instances=instances,
+                         scale=scale, family=family, depth=depth,
+                         heterogeneous=heterogeneous, jobs=jobs,
+                         timeout=timeout)
+    outcome = run_fleet(config, costs=costs, verbose=verbose)
+
+    warm_profile = build_warm_profile(outcome.store, outcome.fingerprint,
+                                      costs)
+    joiner_index = config.instances  # a seed no founder used
+
+    cold_recorder = ProvenanceRecorder(label=f"{benchmark}/joiner-cold")
+    cold_result, _cold_deltas = run_instance(config, joiner_index, costs,
+                                             provenance=cold_recorder)
+    cold_warm_decisions, cold_warm_events = \
+        _provenance_counts(cold_recorder)
+
+    warm_recorder = ProvenanceRecorder(label=f"{benchmark}/joiner-warm")
+    warm_result, _warm_deltas = run_instance(config, joiner_index, costs,
+                                             provenance=warm_recorder,
+                                             warm_profile=warm_profile)
+    warm_decisions, warm_events = _provenance_counts(warm_recorder)
+
+    cold_first = cold_result.first_rule_clock
+    warm_first = warm_result.first_rule_clock
+    cold_steady = cold_result.steady_state_clock
+    warm_steady = warm_result.steady_state_clock
+    return {
+        "benchmark": benchmark,
+        "fingerprint": outcome.fingerprint,
+        "config": dataclasses.asdict(config),
+        "failures": [dataclasses.asdict(outcome.failures[instance_id])
+                     for instance_id in sorted(outcome.failures)],
+        "store": {
+            "entries": outcome.store.entry_count(outcome.fingerprint),
+            "epochs": outcome.store.epoch,
+            "evicted_total": outcome.store.evicted_total,
+            "heterogeneity": round(outcome.store.heterogeneity(), 4),
+            "shard_contributions": {
+                str(shard): counts for shard, counts in
+                outcome.store.contribution_counts().items()},
+        },
+        "warm_profile": {
+            "rules": len(warm_profile.rules) if warm_profile else 0,
+            "seeded_weight": round(warm_profile.seeded_weight, 3)
+            if warm_profile else 0.0,
+            "source_weight": round(warm_profile.source_weight, 3)
+            if warm_profile else 0.0,
+        },
+        "cold": _run_metrics(cold_result, cold_warm_decisions,
+                             cold_warm_events),
+        "warm": _run_metrics(warm_result, warm_decisions, warm_events),
+        "cold_start_elimination": {
+            "first_rule_clock_cold": cold_first,
+            "first_rule_clock_warm": warm_first,
+            "first_rule_saved_cycles": (cold_first - warm_first)
+            if cold_first is not None and warm_first is not None else None,
+            "steady_state_cold": cold_steady,
+            "steady_state_warm": warm_steady,
+            "steady_state_saved_cycles": (cold_steady - warm_steady)
+            if cold_steady is not None and warm_steady is not None
+            else None,
+            "total_cycles_cold": cold_result.total_cycles,
+            "total_cycles_warm": warm_result.total_cycles,
+            "speedup_pct": round(
+                100.0 * (cold_result.total_cycles
+                         / warm_result.total_cycles - 1.0), 3)
+            if warm_result.total_cycles else 0.0,
+        },
+        "dilution": _dilution(
+            outcome,
+            warm_profile.rule_keys if warm_profile else frozenset(),
+            costs.hot_edge_threshold),
+        "eviction_sensitivity": _eviction_sensitivity(outcome, costs),
+    }
+
+
+def build_fleet_bundle(benchmarks: Sequence[str], instances: int = 3,
+                       scale: float = 0.1, family: str = "fixed",
+                       depth: int = 2, heterogeneous: bool = True,
+                       jobs: int = 0, timeout: Optional[float] = None,
+                       costs: CostModel = DEFAULT_COSTS,
+                       verbose: bool = False) -> dict:
+    """The versioned ``repro.fleet/v1`` bundle over several benchmarks."""
+    reports = [benchmark_report(name, instances=instances, scale=scale,
+                                family=family, depth=depth,
+                                heterogeneous=heterogeneous, jobs=jobs,
+                                timeout=timeout, costs=costs,
+                                verbose=verbose)
+               for name in benchmarks]
+    bundle = {
+        "schema": FLEET_SCHEMA,
+        "instances": instances,
+        "scale": scale,
+        "family": family,
+        "depth": depth,
+        "heterogeneous": heterogeneous,
+        "benchmarks": reports,
+    }
+    bundle["problems"] = validate_fleet_bundle(bundle)
+    bundle["ok"] = not bundle["problems"]
+    return bundle
+
+
+def validate_fleet_bundle(bundle: dict) -> List[str]:
+    """Structural + acceptance checks; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if bundle.get("schema") != FLEET_SCHEMA:
+        problems.append(f"schema is {bundle.get('schema')!r}, "
+                        f"expected {FLEET_SCHEMA!r}")
+        return problems
+    reports = bundle.get("benchmarks") or []
+    if not reports:
+        problems.append("bundle reports no benchmarks")
+    for report in reports:
+        name = report.get("benchmark", "?")
+        for section in ("store", "cold", "warm", "cold_start_elimination",
+                        "dilution", "eviction_sensitivity"):
+            if section not in report:
+                problems.append(f"{name}: missing section {section!r}")
+        if report.get("failures"):
+            problems.append(f"{name}: {len(report['failures'])} "
+                            f"instance(s) failed")
+        elimination = report.get("cold_start_elimination", {})
+        cold_first = elimination.get("first_rule_clock_cold")
+        warm_first = elimination.get("first_rule_clock_warm")
+        if warm_first is None:
+            problems.append(f"{name}: warm joiner never had a rule")
+        elif cold_first is not None and warm_first >= cold_first:
+            problems.append(
+                f"{name}: warm joiner was not faster to its first rule "
+                f"({warm_first:,.0f} >= {cold_first:,.0f} cycles)")
+        warm = report.get("warm", {})
+        if not warm.get("warm_started"):
+            problems.append(f"{name}: warm joiner did not warm-start")
+        if warm.get("warm_start_events", 0) < 1:
+            problems.append(f"{name}: no warm_start provenance event")
+        if warm.get("fleet_warm_decisions", 0) < 1:
+            problems.append(f"{name}: no fleet-warm decisions in "
+                            f"provenance")
+        cold = report.get("cold", {})
+        if cold.get("fleet_warm_decisions", 0):
+            problems.append(f"{name}: cold joiner has fleet-warm "
+                            f"decisions")
+        if not report.get("eviction_sensitivity"):
+            problems.append(f"{name}: eviction sensitivity grid empty")
+    return problems
+
+
+def render_fleet_bundle(bundle: dict) -> str:
+    """Human-readable summary of a fleet bundle."""
+    out: List[str] = []
+    header = (f"Fleet report: {bundle['instances']} instance(s), "
+              f"{bundle['family']}(max={bundle['depth']}), "
+              f"scale {bundle['scale']:g}, "
+              f"{'heterogeneous' if bundle['heterogeneous'] else 'uniform'}"
+              f" seeds")
+    out.append(header)
+    out.append("")
+
+    rows = []
+    for report in bundle["benchmarks"]:
+        elimination = report["cold_start_elimination"]
+        cold_first = elimination["first_rule_clock_cold"]
+        warm_first = elimination["first_rule_clock_warm"]
+        rows.append([
+            report["benchmark"],
+            f"{cold_first:,.0f}" if cold_first is not None else "-",
+            f"{warm_first:,.0f}" if warm_first is not None else "-",
+            f"{elimination['steady_state_cold']:,.0f}"
+            if elimination["steady_state_cold"] is not None else "-",
+            f"{elimination['steady_state_warm']:,.0f}"
+            if elimination["steady_state_warm"] is not None else "-",
+            f"{elimination['speedup_pct']:+.2f}%",
+            str(report["warm"]["fleet_warm_decisions"]),
+        ])
+    out.append(format_table(
+        ["benchmark", "1st rule cold", "1st rule warm", "steady cold",
+         "steady warm", "speedup", "warm decisions"], rows,
+        title="Cold-start elimination (cycles)"))
+    out.append("")
+
+    rows = []
+    for report in bundle["benchmarks"]:
+        dilution = report["dilution"]
+        store = report["store"]
+        rows.append([
+            report["benchmark"],
+            str(store["entries"]),
+            str(store["epochs"]),
+            str(store["evicted_total"]),
+            f"{store['heterogeneity']:.3f}",
+            f"{dilution['polluted_fraction']:.3f}",
+            f"{dilution['lost_fraction']:.3f}",
+        ])
+    out.append(format_table(
+        ["benchmark", "entries", "epochs", "evicted", "heterogeneity",
+         "polluted", "lost"], rows,
+        title="Store state and dilution"))
+    out.append("")
+
+    rows = []
+    for report in bundle["benchmarks"]:
+        for policy in report["eviction_sensitivity"]:
+            rows.append([
+                report["benchmark"],
+                f"{policy['decay_rate']:.2f}",
+                str(policy["max_idle_epochs"]),
+                str(policy["surviving_entries"]),
+                str(policy["evicted_total"]),
+                str(policy["warm_rules"]),
+            ])
+    out.append(format_table(
+        ["benchmark", "decay", "max idle", "entries", "evicted",
+         "warm rules"], rows,
+        title="Eviction-policy sensitivity"))
+    out.append("")
+
+    if bundle["ok"]:
+        out.append("fleet bundle: OK")
+    else:
+        out.append("fleet bundle: INVALID")
+        for problem in bundle["problems"]:
+            out.append(f"  - {problem}")
+    return "\n".join(out)
+
+
+def write_fleet_bundle(path: str, bundle: dict) -> None:
+    """Atomically persist a bundle as sorted-key JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)

@@ -1,0 +1,399 @@
+"""The sharded fleet profile store.
+
+One logical store aggregates context-sensitive profile deltas published
+by many simulated runtime instances of the *same* program.  Entries are
+partitioned into shards keyed by (program fingerprint, callee method,
+innermost context edge) -- the same partitioning a distributed profile
+service would use so one hot method's contexts land on one shard and
+merges never cross shards.
+
+Wire format
+-----------
+Published deltas are plain ``{(callee, context): weight}`` mappings --
+the exact projections :meth:`repro.profiles.cct.CallingContextTree.
+to_trace_weights` and :meth:`repro.profiles.dcg.DynamicCallGraph.
+edge_weights` produce (TraceKeys are reduced to tuples so deltas cross
+process boundaries without pickling custom classes).  Trace weights and
+depth-1 edge weights are kept in separate planes: warm-start rule
+derivation wants full contexts, dilution diagnostics want edges.
+
+Determinism
+-----------
+Every fold (publish, decay, merge, snapshot) iterates in sorted key
+order.  Float addition is not associative, so canonical fold order is
+what makes two stores fed the same deltas in different orders serialize
+byte-identically -- the same property :mod:`repro.telemetry.aggregate`
+guarantees for cell telemetry.
+
+Staleness
+---------
+:meth:`ShardedProfileStore.advance_epoch` multiplies every weight by the
+decay rate and evicts entries that fall below the prune epsilon or that
+no instance has refreshed for ``max_idle_epochs`` epochs.  An instance
+that crashed or drifted to different behaviour therefore ages out of
+the aggregate instead of polluting warm starts forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.workloads.spec import TABLE1
+
+#: Schema identifier of a store snapshot.
+STORE_SCHEMA = "repro.fleet-store/v1"
+
+#: Wire key: (callee, ((caller, site), ...)) -- a TraceKey as plain tuples.
+WireKey = Tuple[str, Tuple[Tuple[str, int], ...]]
+
+#: Default decay applied to every entry at each epoch boundary.
+DEFAULT_STORE_DECAY = 0.8
+
+#: Entries whose decayed weight falls below this are evicted.
+DEFAULT_PRUNE_EPSILON = 0.05
+
+#: Entries not refreshed for this many epochs are evicted regardless of
+#: weight.
+DEFAULT_MAX_IDLE_EPOCHS = 6
+
+#: The two profile planes each shard keeps.
+_PLANES = ("traces", "edges")
+
+
+def program_fingerprint(benchmark: str, scale: float = 1.0) -> str:
+    """Content fingerprint of one generated program.
+
+    Covers the benchmark's Table-1 static characteristics and the run
+    scale.  The workload generator allocates every hot-path method and
+    call-site id *before* consuming any seed-dependent randomness, so
+    instances generated with different workload seeds still share hot
+    TraceKeys -- the fingerprint deliberately excludes the seed so their
+    profiles aggregate.
+    """
+    classes, methods, bytecodes = TABLE1[benchmark]
+    blob = f"{benchmark}:{classes}:{methods}:{bytecodes}:{scale:g}"
+    return f"{benchmark}-{zlib.crc32(blob.encode()):08x}"
+
+
+def wire_key(callee: str, context: Iterable[Tuple[str, int]]) -> WireKey:
+    """Normalize a (callee, context) pair into the canonical wire key."""
+    return (str(callee), tuple((str(c), int(s)) for c, s in context))
+
+
+def _encode_key(key: WireKey) -> str:
+    """JSON-string form of a wire key (snapshot dict keys must be str)."""
+    callee, context = key
+    return json.dumps([callee, [list(elem) for elem in context]],
+                      separators=(",", ":"))
+
+
+def _decode_key(text: str) -> WireKey:
+    callee, context = json.loads(text)
+    return wire_key(callee, context)
+
+
+def _shard_index(fingerprint: str, key: WireKey, num_shards: int) -> int:
+    """Shard by (program fingerprint, callee, innermost edge).
+
+    All deeper contexts of one call edge land on the same shard, so a
+    shard can derive rules for its edges without cross-shard reads.
+    """
+    callee, context = key
+    edge = context[0] if context else ("", 0)
+    blob = f"{fingerprint}|{callee}|{edge[0]}@{edge[1]}"
+    return zlib.crc32(blob.encode()) % num_shards
+
+
+class _Entry:
+    """One aggregated profile entry: weight plus freshness."""
+
+    __slots__ = ("weight", "last_epoch")
+
+    def __init__(self, weight: float = 0.0, last_epoch: int = 0):
+        self.weight = weight
+        self.last_epoch = last_epoch
+
+
+class ShardedProfileStore:
+    """Sharded, decaying aggregate of fleet profile deltas."""
+
+    def __init__(self, num_shards: int = 8,
+                 decay_rate: float = DEFAULT_STORE_DECAY,
+                 prune_epsilon: float = DEFAULT_PRUNE_EPSILON,
+                 max_idle_epochs: int = DEFAULT_MAX_IDLE_EPOCHS):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0.0 < decay_rate <= 1.0:
+            raise ValueError(f"decay_rate must be in (0, 1], "
+                             f"got {decay_rate}")
+        self.num_shards = num_shards
+        self.decay_rate = decay_rate
+        self.prune_epsilon = prune_epsilon
+        self.max_idle_epochs = max_idle_epochs
+        self.epoch = 0
+        #: Monotone count of evictions across the store's lifetime.
+        self.evicted_total = 0
+        #: shard -> fingerprint -> plane -> {wire key: entry}.
+        self._shards: List[Dict[str, Dict[str, Dict[WireKey, _Entry]]]] = \
+            [{} for _ in range(num_shards)]
+        #: shard -> instance id -> publish count (heterogeneity metric).
+        self._contributions: List[Dict[str, int]] = \
+            [{} for _ in range(num_shards)]
+
+    # -- ingestion -----------------------------------------------------------
+
+    def publish(self, instance_id: str, fingerprint: str,
+                trace_weights: Dict[WireKey, float],
+                edge_weights: Optional[Dict[WireKey, float]] = None) -> int:
+        """Fold one instance's profile delta into the store (additive).
+
+        Returns the number of entries touched.  Deltas are folded in
+        sorted key order so publish order across instances cannot change
+        the aggregated floats.
+        """
+        touched = 0
+        for plane, weights in (("traces", trace_weights),
+                               ("edges", edge_weights or {})):
+            for key in sorted(weights):
+                delta = weights[key]
+                if delta <= 0.0:
+                    continue
+                shard = self._shards[_shard_index(fingerprint, key,
+                                                  self.num_shards)]
+                plane_map = shard.setdefault(fingerprint, {}) \
+                    .setdefault(plane, {})
+                entry = plane_map.get(key)
+                if entry is None:
+                    entry = plane_map[key] = _Entry()
+                entry.weight += delta
+                entry.last_epoch = self.epoch
+                touched += 1
+        if touched:
+            contributions = self._contributions[
+                _first_shard(self, fingerprint, trace_weights)]
+            contributions[instance_id] = \
+                contributions.get(instance_id, 0) + 1
+        return touched
+
+    def advance_epoch(self) -> Dict[str, float]:
+        """Close the current epoch: decay every entry, evict stale ones.
+
+        Returns the epoch's staleness statistics (counted, decayed,
+        evicted) for the fleet report.
+        """
+        self.epoch += 1
+        decayed = 0
+        evicted = 0
+        for shard in self._shards:
+            for fingerprint in sorted(shard):
+                for plane in _PLANES:
+                    plane_map = shard[fingerprint].get(plane)
+                    if not plane_map:
+                        continue
+                    for key in sorted(plane_map):
+                        entry = plane_map[key]
+                        entry.weight *= self.decay_rate
+                        decayed += 1
+                        idle = self.epoch - entry.last_epoch
+                        if (entry.weight < self.prune_epsilon
+                                or idle > self.max_idle_epochs):
+                            del plane_map[key]
+                            evicted += 1
+        self.evicted_total += evicted
+        return {"epoch": self.epoch, "decayed": decayed, "evicted": evicted}
+
+    # -- queries -------------------------------------------------------------
+
+    def aggregate(self, fingerprint: str,
+                  plane: str = "traces") -> Dict[WireKey, float]:
+        """The aggregated ``{wire key: weight}`` map for one program."""
+        if plane not in _PLANES:
+            raise ValueError(f"unknown plane {plane!r}; expected one of "
+                             f"{_PLANES}")
+        out: Dict[WireKey, float] = {}
+        for shard in self._shards:
+            plane_map = shard.get(fingerprint, {}).get(plane, {})
+            for key in sorted(plane_map):
+                out[key] = out.get(key, 0.0) + plane_map[key].weight
+        return {key: out[key] for key in sorted(out)}
+
+    def entry_count(self, fingerprint: Optional[str] = None) -> int:
+        count = 0
+        for shard in self._shards:
+            for fp, planes in shard.items():
+                if fingerprint is not None and fp != fingerprint:
+                    continue
+                count += sum(len(planes.get(plane, {})) for plane in _PLANES)
+        return count
+
+    def contribution_counts(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard ``{instance id: publish count}`` (sorted keys)."""
+        return {index: {instance: counts[instance]
+                        for instance in sorted(counts)}
+                for index, counts in enumerate(self._contributions)
+                if counts}
+
+    def heterogeneity(self) -> float:
+        """Normalized entropy of instance contributions in [0, 1].
+
+        0.0 when one instance dominates the store, 1.0 when every
+        contributing instance published equally -- the report's proxy for
+        how mixed the profile population feeding a warm start was.
+        """
+        import math
+
+        totals: Dict[str, int] = {}
+        for counts in self._contributions:
+            for instance in sorted(counts):
+                totals[instance] = totals.get(instance, 0) + counts[instance]
+        if len(totals) < 2:
+            return 0.0
+        grand = float(sum(totals.values()))
+        entropy = -sum((count / grand) * math.log(count / grand)
+                       for count in totals.values() if count)
+        return entropy / math.log(len(totals))
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned, fully key-sorted JSON-ready snapshot of the store."""
+        shards = []
+        for index, shard in enumerate(self._shards):
+            programs = {}
+            for fingerprint in sorted(shard):
+                planes = {}
+                for plane in _PLANES:
+                    plane_map = shard[fingerprint].get(plane, {})
+                    planes[plane] = {
+                        _encode_key(key): [plane_map[key].weight,
+                                           plane_map[key].last_epoch]
+                        for key in sorted(plane_map)}
+                programs[fingerprint] = planes
+            shards.append({
+                "index": index,
+                "programs": programs,
+                "contributions": {
+                    instance: self._contributions[index][instance]
+                    for instance in sorted(self._contributions[index])},
+            })
+        return {
+            "schema": STORE_SCHEMA,
+            "num_shards": self.num_shards,
+            "decay_rate": self.decay_rate,
+            "prune_epsilon": self.prune_epsilon,
+            "max_idle_epochs": self.max_idle_epochs,
+            "epoch": self.epoch,
+            "evicted_total": self.evicted_total,
+            "shards": shards,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "ShardedProfileStore":
+        if data.get("schema") != STORE_SCHEMA:
+            raise ValueError(f"not a {STORE_SCHEMA} snapshot: "
+                             f"schema={data.get('schema')!r}")
+        store = cls(num_shards=data["num_shards"],
+                    decay_rate=data["decay_rate"],
+                    prune_epsilon=data["prune_epsilon"],
+                    max_idle_epochs=data["max_idle_epochs"])
+        store.epoch = data["epoch"]
+        store.evicted_total = data.get("evicted_total", 0)
+        for raw_shard in data["shards"]:
+            index = raw_shard["index"]
+            for fingerprint, planes in raw_shard["programs"].items():
+                for plane in _PLANES:
+                    for encoded, (weight, last_epoch) in \
+                            planes.get(plane, {}).items():
+                        key = _decode_key(encoded)
+                        store._shards[index] \
+                            .setdefault(fingerprint, {}) \
+                            .setdefault(plane, {})[key] = \
+                            _Entry(weight, last_epoch)
+            store._contributions[index].update(
+                raw_shard.get("contributions", {}))
+        return store
+
+    def save(self, path: str) -> None:
+        """Atomically persist the snapshot (write temp + ``os.replace``)."""
+        payload = json.dumps(self.snapshot(), sort_keys=True)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ShardedProfileStore":
+        with open(path) as handle:
+            return cls.from_snapshot(json.load(handle))
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Deterministically merge store snapshots (replica reconciliation).
+
+    Weights are summed, freshness (``last_epoch``) and the epoch counter
+    take the maximum, contribution counts are summed.  The fold runs in
+    fully sorted order, so any permutation of the same snapshots
+    produces byte-identical output under ``json.dumps(sort_keys=True)``.
+    """
+    if not snapshots:
+        raise ValueError("nothing to merge")
+    for snap in snapshots:
+        if snap.get("schema") != STORE_SCHEMA:
+            raise ValueError(f"not a {STORE_SCHEMA} snapshot")
+        if snap["num_shards"] != snapshots[0]["num_shards"]:
+            raise ValueError("cannot merge stores with different shard "
+                             "counts")
+
+    merged = ShardedProfileStore(
+        num_shards=snapshots[0]["num_shards"],
+        decay_rate=snapshots[0]["decay_rate"],
+        prune_epsilon=snapshots[0]["prune_epsilon"],
+        max_idle_epochs=snapshots[0]["max_idle_epochs"])
+    merged.epoch = max(snap["epoch"] for snap in snapshots)
+    merged.evicted_total = sum(snap.get("evicted_total", 0)
+                               for snap in snapshots)
+
+    # Canonical input order: the snapshots themselves are sorted by their
+    # serialized form so the *argument* order cannot matter either.
+    ordered = sorted(snapshots,
+                     key=lambda snap: json.dumps(snap, sort_keys=True))
+    for snap in ordered:
+        for raw_shard in snap["shards"]:
+            index = raw_shard["index"]
+            shard = merged._shards[index]
+            for fingerprint in sorted(raw_shard["programs"]):
+                planes = raw_shard["programs"][fingerprint]
+                for plane in _PLANES:
+                    plane_entries = planes.get(plane, {})
+                    target = shard.setdefault(fingerprint, {}) \
+                        .setdefault(plane, {})
+                    for encoded in sorted(plane_entries):
+                        weight, last_epoch = plane_entries[encoded]
+                        key = _decode_key(encoded)
+                        entry = target.get(key)
+                        if entry is None:
+                            entry = target[key] = _Entry()
+                        entry.weight += weight
+                        entry.last_epoch = max(entry.last_epoch, last_epoch)
+            contributions = merged._contributions[index]
+            raw_contrib = raw_shard.get("contributions", {})
+            for instance in sorted(raw_contrib):
+                contributions[instance] = \
+                    contributions.get(instance, 0) + raw_contrib[instance]
+    return merged.snapshot()
+
+
+def _first_shard(store: ShardedProfileStore, fingerprint: str,
+                 trace_weights: Dict[WireKey, float]) -> int:
+    """The shard charged with a publish's contribution count.
+
+    Attributed to the shard of the smallest published key (or shard 0
+    for an empty delta) so the attribution is deterministic.
+    """
+    if not trace_weights:
+        return 0
+    first = min(trace_weights)
+    return _shard_index(fingerprint, first, store.num_shards)

@@ -52,6 +52,12 @@ class ReasonCode(enum.Enum):
     #: compatible with the compilation context reaches one target, so the
     #: site inlines *directly* -- the context, not a guard, protects it.
     STATIC_CTX_MONO = "static-ctx-mono"
+    #: The inline was driven entirely by *fleet-aggregated* profile rules
+    #: (warm-start bootstrap from the sharded profile store), before this
+    #: instance observed the behaviour itself.  Replaces the profile-path
+    #: reason only while every applicable rule at the site has fleet
+    #: origin, so warm-start decisions stay traceable end to end.
+    FLEET_WARM = "fleet-warm"
 
     # -- refusals -------------------------------------------------------------
     #: Callee is the compilation root or already on the inline chain.
@@ -90,7 +96,8 @@ REASON_CODES: FrozenSet[str] = frozenset(code.value for code in ReasonCode)
 INLINE_REASONS: FrozenSet[str] = frozenset((
     ReasonCode.TINY.value, ReasonCode.SMALL.value, ReasonCode.SMALL_HOT.value,
     ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value,
-    ReasonCode.STATIC_HOT.value, ReasonCode.STATIC_CTX_MONO.value))
+    ReasonCode.STATIC_HOT.value, ReasonCode.STATIC_CTX_MONO.value,
+    ReasonCode.FLEET_WARM.value))
 
 #: Reason codes that accompany a *refused* verdict.
 REFUSAL_REASONS: FrozenSet[str] = REASON_CODES - INLINE_REASONS
@@ -121,6 +128,10 @@ class EventKind(enum.Enum):
     PLAN = "plan"
     PLAN_DEFERRED = "plan_deferred"
     EVICTION = "eviction"
+    #: A runtime bootstrapped its profile state from the fleet store
+    #: before executing (subject = program fingerprint; detail carries
+    #: the seeded rule count and profile weight).
+    WARM_START = "warm_start"
 
 
 def event_value(kind: Union["EventKind", str]) -> str:

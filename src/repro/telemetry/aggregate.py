@@ -54,45 +54,57 @@ def merge_cell_telemetry(
     folds the partial maps of successive runs into one view; later maps
     win where cells overlap (they re-ran the cell), and ``None`` maps
     (sweeps run without ``collect_telemetry``) are skipped.
+
+    The result is key-sorted so downstream folds (and serializations)
+    are independent of the insertion order of the input maps.
     """
     merged: Dict[CellKey, TelemetrySnapshot] = {}
     for mapping in maps:
         if mapping:
             merged.update(mapping)
-    return merged
+    return {key: merged[key] for key in sorted(merged)}
 
 
 def merge_component_totals(
         snapshots: Mapping[str, TelemetrySnapshot]) -> Dict[str, float]:
-    """Sum per-component span cycles (plus the app residual) across runs."""
+    """Sum per-component span cycles (plus the app residual) across runs.
+
+    Folds in a canonical (label-sorted, then component-sorted) order:
+    float addition is not associative, so an order-sensitive fold would
+    make the merged totals depend on dict insertion order.  Shuffled
+    inputs must produce byte-identical output.
+    """
     merged: Dict[str, float] = {}
-    for snapshot in snapshots.values():
-        for component, cycles in component_totals(snapshot).items():
-            merged[component] = merged.get(component, 0.0) + cycles
-    return merged
+    for label in sorted(snapshots):
+        totals = component_totals(snapshots[label])
+        for component in sorted(totals):
+            merged[component] = merged.get(component, 0.0) + totals[component]
+    return {component: merged[component] for component in sorted(merged)}
 
 
 def merge_counters(
         snapshots: Mapping[str, TelemetrySnapshot]) -> Dict[str, float]:
-    """Sum every monotonic counter across runs."""
+    """Sum every monotonic counter across runs (order-canonical fold)."""
     merged: Dict[str, float] = {}
-    for snapshot in snapshots.values():
-        for name, value in snapshot.counters.items():
-            merged[name] = merged.get(name, 0.0) + value
-    return merged
+    for label in sorted(snapshots):
+        counters = snapshots[label].counters
+        for name in sorted(counters):
+            merged[name] = merged.get(name, 0.0) + counters[name]
+    return {name: merged[name] for name in sorted(merged)}
 
 
 def merge_histograms(
         snapshots: Mapping[str, TelemetrySnapshot]) \
         -> Dict[str, HistogramData]:
-    """Fold every histogram across runs (bucket-wise)."""
+    """Fold every histogram across runs (bucket-wise, order-canonical)."""
     merged: Dict[str, HistogramData] = {}
-    for snapshot in snapshots.values():
-        for name, histogram in snapshot.histograms.items():
+    for label in sorted(snapshots):
+        histograms = snapshots[label].histograms
+        for name in sorted(histograms):
             if name not in merged:
                 merged[name] = HistogramData()
-            merged[name].merge(histogram)
-    return merged
+            merged[name].merge(histograms[name])
+    return {name: merged[name] for name in sorted(merged)}
 
 
 def merged_chrome_trace(
@@ -134,7 +146,8 @@ def render_aggregate(
         snapshots: Mapping[str, TelemetrySnapshot]) -> Tuple[dict, str]:
     """Aggregate overhead table across runs; returns (data, rendered)."""
     totals = merge_component_totals(snapshots)
-    grand_total = sum(s.total_cycles for s in snapshots.values()) or 1.0
+    grand_total = sum(snapshots[label].total_cycles
+                      for label in sorted(snapshots)) or 1.0
     components = [c for c in ALL_COMPONENTS if c in totals]
     components += sorted(c for c in totals if c not in ALL_COMPONENTS)
     rows = [[component, f"{totals[component]:,.0f}",

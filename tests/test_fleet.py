@@ -1,0 +1,358 @@
+"""Tests for the fleet profile service (store, harness, warm start).
+
+The contract points:
+
+* **store determinism** -- publish order, snapshot merge order, and
+  re-folds cannot change the serialized bytes (float folds run in
+  canonical key order);
+* **staleness** -- decay plus idle eviction ages unrefreshed entries out
+  of the aggregate;
+* **warm start** -- a late joiner bootstrapped from the fleet aggregate
+  reaches its first inline rule in measurably fewer cycles than the
+  same joiner cold, its warm rules carry fleet origin, and the
+  bootstrap plus every purely-fleet-driven verdict is visible in
+  decision provenance.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.aos.runtime import AdaptiveRuntime
+from repro.fleet import (FleetConfig, ShardedProfileStore, WarmProfile,
+                         apply_warm_start, build_warm_profile,
+                         merge_snapshots, program_fingerprint, run_fleet,
+                         run_instance)
+from repro.fleet.harness import fold_streams, instance_spec
+from repro.fleet.report import (FLEET_SCHEMA, benchmark_report,
+                                build_fleet_bundle, render_fleet_bundle,
+                                validate_fleet_bundle)
+from repro.fleet.store import STORE_SCHEMA, wire_key
+from repro.jvm.costs import DEFAULT_COSTS
+from repro.policies import make_policy
+from repro.profiles.trace import ORIGIN_FLEET, ORIGIN_LOCAL
+from repro.provenance.reasons import EventKind, ReasonCode
+from repro.provenance.recorder import ProvenanceRecorder
+from repro.workloads.spec import build_benchmark
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def fleet_outcome():
+    config = FleetConfig(benchmark="jess", instances=2, scale=SCALE, jobs=1)
+    return run_fleet(config)
+
+
+# -- wire keys and fingerprints -----------------------------------------------
+
+
+class TestFingerprint:
+    def test_excludes_workload_seed(self):
+        # Different fleet instances (different seeds) must share one
+        # fingerprint or their profiles would never aggregate.
+        config = FleetConfig(benchmark="jess", scale=SCALE)
+        specs = [instance_spec(config, index) for index in range(3)]
+        assert len({spec.seed for spec in specs}) == 3
+        assert len({program_fingerprint("jess", SCALE)}) == 1
+
+    def test_distinguishes_program_and_scale(self):
+        assert program_fingerprint("jess", 0.05) != \
+            program_fingerprint("db", 0.05)
+        assert program_fingerprint("jess", 0.05) != \
+            program_fingerprint("jess", 0.5)
+
+
+# -- store ---------------------------------------------------------------------
+
+
+class TestStore:
+    def k(self, callee, *edges):
+        return wire_key(callee, edges)
+
+    def test_publish_aggregates_across_instances(self):
+        store = ShardedProfileStore()
+        key = self.k("A.m", ("B.n", 0))
+        store.publish("i0", "fp", {key: 2.0})
+        store.publish("i1", "fp", {key: 3.0})
+        assert store.aggregate("fp")[key] == pytest.approx(5.0)
+
+    def test_planes_are_separate(self):
+        store = ShardedProfileStore()
+        key = self.k("A.m", ("B.n", 0))
+        store.publish("i0", "fp", {key: 2.0}, {key: 7.0})
+        assert store.aggregate("fp", "traces")[key] == pytest.approx(2.0)
+        assert store.aggregate("fp", "edges")[key] == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            store.aggregate("fp", "nope")
+
+    def test_decay_and_weight_eviction(self):
+        store = ShardedProfileStore(decay_rate=0.5, prune_epsilon=0.3)
+        key = self.k("A.m")
+        store.publish("i0", "fp", {key: 1.0})
+        assert store.advance_epoch()["evicted"] == 0   # 0.5 survives
+        stats = store.advance_epoch()                   # 0.25 < 0.3
+        assert stats["evicted"] == 1
+        assert store.aggregate("fp") == {}
+        assert store.evicted_total == 1
+
+    def test_idle_eviction(self):
+        store = ShardedProfileStore(decay_rate=1.0, prune_epsilon=0.0,
+                                    max_idle_epochs=2)
+        stale, fresh = self.k("A.m"), self.k("B.n")
+        store.publish("i0", "fp", {stale: 5.0, fresh: 5.0})
+        for _ in range(3):
+            store.publish("i0", "fp", {fresh: 0.5})
+            store.advance_epoch()
+        aggregate = store.aggregate("fp")
+        assert stale not in aggregate
+        assert fresh in aggregate
+
+    def test_publish_order_cannot_change_snapshot_bytes(self):
+        keys = [self.k(f"C{i}.m", (f"D{i % 3}.n", i % 5)) for i in range(20)]
+        deltas = [(f"i{i % 4}", {keys[i]: 0.1 * (i + 1) + 1e-13})
+                  for i in range(20)]
+        blobs = set()
+        for seed in range(4):
+            order = list(deltas)
+            random.Random(seed).shuffle(order)
+            store = ShardedProfileStore()
+            for instance_id, delta in order:
+                store.publish(instance_id, "fp", delta)
+            blobs.add(json.dumps(store.snapshot(), sort_keys=True))
+        # Weights folded per key stay order-sensitive floats only if the
+        # fold order varied; canonical folding makes all runs identical.
+        assert len(blobs) == 1
+
+    def test_snapshot_round_trip(self, fleet_outcome):
+        store = fleet_outcome.store
+        snap = store.snapshot()
+        assert snap["schema"] == STORE_SCHEMA
+        rebuilt = ShardedProfileStore.from_snapshot(snap)
+        assert json.dumps(rebuilt.snapshot(), sort_keys=True) == \
+            json.dumps(snap, sort_keys=True)
+        fp = fleet_outcome.fingerprint
+        assert rebuilt.aggregate(fp) == store.aggregate(fp)
+
+    def test_save_load(self, tmp_path, fleet_outcome):
+        path = str(tmp_path / "store.json")
+        fleet_outcome.store.save(path)
+        loaded = ShardedProfileStore.load(path)
+        assert loaded.entry_count() == fleet_outcome.store.entry_count()
+
+    def test_merge_is_argument_order_independent(self):
+        snaps = []
+        for start in range(3):
+            store = ShardedProfileStore()
+            for i in range(start, start + 8):
+                store.publish(f"i{start}", "fp",
+                              {self.k(f"C{i}.m"): 0.1 * (i + 1)})
+            store.advance_epoch()
+            snaps.append(store.snapshot())
+        merged = {json.dumps(merge_snapshots(*order), sort_keys=True)
+                  for order in ([snaps[0], snaps[1], snaps[2]],
+                                [snaps[2], snaps[0], snaps[1]],
+                                [snaps[1], snaps[2], snaps[0]])}
+        assert len(merged) == 1
+
+    def test_merge_sums_weights_and_contributions(self):
+        key = self.k("A.m")
+        stores = []
+        for name in ("x", "y"):
+            store = ShardedProfileStore()
+            store.publish(name, "fp", {key: 2.0})
+            stores.append(store)
+        merged = ShardedProfileStore.from_snapshot(
+            merge_snapshots(stores[0].snapshot(), stores[1].snapshot()))
+        assert merged.aggregate("fp")[key] == pytest.approx(4.0)
+        totals = {}
+        for counts in merged.contribution_counts().values():
+            totals.update(counts)
+        assert totals == {"x": 1, "y": 1}
+
+    def test_merge_rejects_mismatched_snapshots(self):
+        store = ShardedProfileStore(num_shards=4)
+        other = ShardedProfileStore(num_shards=8)
+        with pytest.raises(ValueError):
+            merge_snapshots(store.snapshot(), other.snapshot())
+        with pytest.raises(ValueError):
+            merge_snapshots({"schema": "bogus"})
+        with pytest.raises(ValueError):
+            merge_snapshots()
+
+    def test_heterogeneity_bounds(self):
+        store = ShardedProfileStore()
+        key = self.k("A.m")
+        store.publish("solo", "fp", {key: 1.0})
+        assert store.heterogeneity() == 0.0
+        store.publish("other", "fp", {key: 1.0})
+        assert store.heterogeneity() == pytest.approx(1.0)
+
+
+# -- harness -------------------------------------------------------------------
+
+
+class TestHarness:
+    def test_fleet_runs_all_instances(self, fleet_outcome):
+        assert not fleet_outcome.failures
+        assert set(fleet_outcome.results) == {"jess#0", "jess#1"}
+        assert all(fleet_outcome.streams[instance_id]
+                   for instance_id in fleet_outcome.results)
+        assert fleet_outcome.store.entry_count(
+            fleet_outcome.fingerprint) > 0
+        assert fleet_outcome.epoch_stats
+
+    def test_deltas_are_positive(self, fleet_outcome):
+        for deltas in fleet_outcome.streams.values():
+            for delta in deltas:
+                assert all(w > 0.0 for w in delta.trace_weights.values())
+                assert all(w > 0.0 for w in delta.edge_weights.values())
+
+    def test_fleet_is_deterministic(self, fleet_outcome):
+        config = FleetConfig(benchmark="jess", instances=2, scale=SCALE,
+                             jobs=1)
+        again = run_fleet(config)
+        assert json.dumps(again.store.snapshot(), sort_keys=True) == \
+            json.dumps(fleet_outcome.store.snapshot(), sort_keys=True)
+
+    def test_fold_streams_replays_into_fresh_store(self, fleet_outcome):
+        store = ShardedProfileStore()
+        fold_streams(store, fleet_outcome.fingerprint,
+                     fleet_outcome.streams)
+        fp = fleet_outcome.fingerprint
+        assert store.aggregate(fp) == fleet_outcome.store.aggregate(fp)
+
+
+# -- warm start ----------------------------------------------------------------
+
+
+class TestWarmStart:
+    def test_empty_store_gives_no_profile(self):
+        assert build_warm_profile(ShardedProfileStore(), "fp") is None
+
+    def test_profile_shape(self, fleet_outcome):
+        warm = build_warm_profile(fleet_outcome.store,
+                                  fleet_outcome.fingerprint)
+        assert isinstance(warm, WarmProfile)
+        assert warm.rules
+        costs = DEFAULT_COSTS
+        expected = 2.0 * max(costs.ai_min_total_weight,
+                             costs.first_compile_min_weight)
+        assert warm.seeded_weight == pytest.approx(expected)
+        assert sum(warm.trace_weights.values()) == pytest.approx(expected)
+        assert all(rule.origin == ORIGIN_FLEET for rule in warm.rules)
+
+    def test_apply_seeds_runtime_and_records_event(self, fleet_outcome):
+        warm = build_warm_profile(fleet_outcome.store,
+                                  fleet_outcome.fingerprint)
+        generated = build_benchmark("jess", scale=SCALE)
+        recorder = ProvenanceRecorder(label="warm")
+        runtime = AdaptiveRuntime(generated.program, make_policy("fixed", 2),
+                                  provenance=recorder)
+        installed = apply_warm_start(runtime, warm)
+        assert installed == len(warm.rules)
+        assert runtime.warm_started
+        assert runtime.first_rule_clock == 0.0
+        assert runtime.state.warm_keys == warm.rule_keys
+        assert len(runtime.state.rules) == installed
+        events = [e for e in recorder.events
+                  if e.kind == EventKind.WARM_START.value]
+        assert len(events) == 1
+        assert events[0].subject == fleet_outcome.fingerprint
+        assert events[0].detail["rules"] == installed
+
+    def test_warm_joiner_beats_cold_to_first_rule(self, fleet_outcome):
+        config = fleet_outcome.config
+        warm_profile = build_warm_profile(fleet_outcome.store,
+                                          fleet_outcome.fingerprint)
+        joiner = config.instances
+
+        cold_rec = ProvenanceRecorder(label="cold")
+        cold, _ = run_instance(config, joiner, provenance=cold_rec)
+        warm_rec = ProvenanceRecorder(label="warm")
+        warm, _ = run_instance(config, joiner, provenance=warm_rec,
+                               warm_profile=warm_profile)
+
+        assert not cold.warm_started and warm.warm_started
+        assert cold.first_rule_clock is not None
+        assert warm.first_rule_clock < cold.first_rule_clock
+
+        def fleet_reasons(recorder):
+            return [r for r in recorder.decisions
+                    if r.reason == ReasonCode.FLEET_WARM.value]
+
+        assert not fleet_reasons(cold_rec)
+        assert fleet_reasons(warm_rec)
+
+    def test_warm_origin_survives_rederivation(self, fleet_outcome):
+        # After the run, rules re-derived by the AI organizer from mixed
+        # fleet+local data keep fleet origin for warm keys and local
+        # origin elsewhere.
+        warm_profile = build_warm_profile(fleet_outcome.store,
+                                          fleet_outcome.fingerprint)
+        generated = build_benchmark("jess", scale=SCALE)
+        runtime = AdaptiveRuntime(generated.program, make_policy("fixed", 2))
+        apply_warm_start(runtime, warm_profile)
+        runtime.run()
+        warm_keys = runtime.state.warm_keys
+        for rule in runtime.state.rules:
+            expected = ORIGIN_FLEET if rule.key in warm_keys \
+                else ORIGIN_LOCAL
+            assert rule.origin == expected
+
+
+# -- report --------------------------------------------------------------------
+
+
+class TestFleetReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return benchmark_report("jess", instances=2, scale=SCALE, jobs=1)
+
+    def test_cold_start_elimination_measured(self, report):
+        elimination = report["cold_start_elimination"]
+        assert elimination["first_rule_saved_cycles"] > 0
+        assert report["warm"]["fleet_warm_decisions"] >= 1
+        assert report["cold"]["fleet_warm_decisions"] == 0
+        assert report["warm"]["warm_start_events"] == 1
+
+    def test_dilution_and_eviction_sections(self, report):
+        dilution = report["dilution"]
+        assert 0.0 <= dilution["polluted_fraction"] <= 1.0
+        assert 0.0 <= dilution["lost_fraction"] <= 1.0
+        assert dilution["aggregate_rules"] > 0
+        grid = report["eviction_sensitivity"]
+        assert len(grid) == 3
+        # A harsher policy cannot retain more entries than a laxer one.
+        entries = [row["surviving_entries"] for row in grid]
+        assert entries == sorted(entries)
+
+    def test_bundle_validates_and_renders(self, report):
+        bundle = {"schema": FLEET_SCHEMA, "instances": 2, "scale": SCALE,
+                  "family": "fixed", "depth": 2, "heterogeneous": True,
+                  "benchmarks": [report]}
+        problems = validate_fleet_bundle(bundle)
+        assert problems == []
+        bundle["problems"], bundle["ok"] = problems, True
+        rendered = render_fleet_bundle(bundle)
+        assert "Cold-start elimination" in rendered
+        assert "Eviction-policy sensitivity" in rendered
+        assert "fleet bundle: OK" in rendered
+
+    def test_validate_rejects_bad_bundles(self, report):
+        assert validate_fleet_bundle({"schema": "bogus"})
+        broken = json.loads(json.dumps(report))
+        broken["warm"]["fleet_warm_decisions"] = 0
+        broken["cold_start_elimination"]["first_rule_clock_warm"] = \
+            broken["cold_start_elimination"]["first_rule_clock_cold"]
+        problems = validate_fleet_bundle(
+            {"schema": FLEET_SCHEMA, "benchmarks": [broken]})
+        assert any("fleet-warm" in p for p in problems)
+        assert any("not faster" in p for p in problems)
+
+    def test_build_fleet_bundle_smoke(self):
+        bundle = build_fleet_bundle(["jess"], instances=2, scale=SCALE,
+                                    jobs=1)
+        assert bundle["ok"], bundle["problems"]
+        assert bundle["schema"] == FLEET_SCHEMA
