@@ -71,8 +71,9 @@ from repro.aos.listeners import (MethodListener, TerminationStatsProbe,
 from repro.aos.runtime import AdaptiveRuntime, RunResult
 
 # -- telemetry -------------------------------------------------------------------------
-from repro.telemetry import (NullRecorder, TelemetryRecorder,
-                             TelemetrySnapshot, to_chrome_trace)
+from repro.telemetry import (NullRecorder, ProgressTracker,
+                             TelemetryRecorder, TelemetrySnapshot,
+                             to_chrome_trace)
 
 # -- decision provenance -----------------------------------------------------------------
 from repro.provenance import (DecisionRecord, EventKind, ProvenanceRecorder,
@@ -83,6 +84,11 @@ from repro.provenance import (DecisionRecord, EventKind, ProvenanceRecorder,
 from repro.fleet import (FleetConfig, ShardedProfileStore, WarmProfile,
                          apply_warm_start, build_fleet_bundle,
                          build_warm_profile, program_fingerprint, run_fleet)
+
+# -- causal profiling --------------------------------------------------------------------
+from repro.causal import (CausalConfig, CausalResults,
+                          apply_virtual_speedup, build_causal_bundle,
+                          render_causal_bundle, run_causal)
 
 # -- static analysis ---------------------------------------------------------------------
 from repro.analysis import (SoundnessReport, StaticCallGraph, StaticOracle,
@@ -95,7 +101,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AOSDatabase", "AOS_COMPONENTS", "APP", "ALL_COMPONENTS", "Add",
-    "AdaptiveRuntime", "Arg", "CCTNode", "CallingContextTree", "ClassDef",
+    "AdaptiveRuntime", "Arg", "CCTNode", "CallingContextTree",
+    "CausalConfig", "CausalResults", "ClassDef",
     "ClassHierarchy", "ClassMethods", "CodeCache", "CompilationError",
     "CompilationEvent", "CompiledMethod", "ConfigError", "Const", "Context",
     "ContextInsensitive", "ContextSensitivityPolicy", "CostAccounting",
@@ -111,7 +118,7 @@ __all__ = [
     "ParameterlessClassMethods", "ParameterlessLargeMethods",
     "NullRecorder",
     "ParameterlessMethods", "Pick", "Program", "ProgramError",
-    "ProvenanceRecorder", "ReasonCode", "ReproError",
+    "ProgressTracker", "ProvenanceRecorder", "ReasonCode", "ReproError",
     "Return", "RunResult", "ShardedProfileStore", "SizeClass",
     "SoundnessReport", "StaticCall",
     "StaticCallGraph", "StaticOracle", "StaticOraclePolicy", "Stmt", "Sub",
@@ -119,9 +126,9 @@ __all__ = [
     "TerminationStatsProbe", "TraceKey", "TraceListener", "Value",
     "VerificationReport", "VerifierError",
     "VirtualCall", "WarmProfile", "Work", "analyze_program",
-    "applicable_rules", "apply_warm_start",
+    "applicable_rules", "apply_virtual_speedup", "apply_warm_start",
     "attribute_flips", "body_bytecodes", "build_call_graph",
-    "build_fleet_bundle", "build_warm_profile",
+    "build_causal_bundle", "build_fleet_bundle", "build_warm_profile",
     "candidate_targets", "check_soundness", "classify",
     "contexts_compatible", "diff_logs",
     "dynamic_class",
@@ -129,5 +136,6 @@ __all__ = [
     "is_large",
     "iter_call_sites", "make_context", "make_policy", "ordered_candidates",
     "physical_method", "program_fingerprint", "read_decision_log",
-    "render_diff", "run_fleet", "to_chrome_trace", "verify_program",
+    "render_causal_bundle", "render_diff", "run_causal", "run_fleet",
+    "to_chrome_trace", "verify_program",
 ]

@@ -9,7 +9,7 @@ overhead and inline guards, which are application-visible costs).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Mapping, Sequence
 
 #: Component names, mirroring Figure 6's legend.
 APP = "app"
@@ -23,6 +23,26 @@ CONTROLLER = "controller_thread"
 AOS_COMPONENTS = (LISTENERS, COMPILATION, DECAY_ORGANIZER, AI_ORGANIZER,
                   METHOD_ORGANIZER, CONTROLLER)
 ALL_COMPONENTS = (APP,) + AOS_COMPONENTS
+
+#: The organizer threads plus the controller: everything that runs "in the
+#: background" between samples.  The causal profiler treats these as one
+#: virtually-speedable component.
+ORGANIZERS = (DECAY_ORGANIZER, AI_ORGANIZER, METHOD_ORGANIZER, CONTROLLER)
+
+
+def component_share(cycles: Mapping[str, float],
+                    components: Sequence[str]) -> float:
+    """Fraction of total cycles attributed to the given components.
+
+    Operates on a persisted ``component_cycles`` snapshot (e.g.
+    ``RunResult.component_cycles``), so reports can contrast a causal
+    experiment's *measured* effect with the component's *accounted*
+    share without re-running anything.
+    """
+    total = sum(cycles.values())
+    if total == 0:
+        return 0.0
+    return sum(cycles.get(name, 0.0) for name in components) / total
 
 
 class CostAccounting:

@@ -37,6 +37,7 @@ from repro.policies.base import ContextSensitivityPolicy
 from repro.provenance.metrics import fold_into_telemetry
 from repro.provenance.reasons import EventKind
 from repro.provenance.recorder import NULL_PROVENANCE, ProvenanceRecorder
+from repro.telemetry.progress import ProgressTracker, instrument_progress
 from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder
 
 
@@ -77,6 +78,13 @@ class RunResult:
     osr_transfers: int
     invalidations: int
 
+    #: Per-progress-point statistics (``{name: {count, first_clock,
+    #: last_clock}}``) when the run carried a
+    #: :class:`~repro.telemetry.progress.ProgressTracker`; ``None``
+    #: otherwise.  The causal profiler reports speedups as
+    #: progress-rate changes computed from this payload.
+    progress_points: Optional[Dict[str, Dict[str, float]]] = None
+
     # -- warm-start / fleet metrics (defaults keep old cached cells loadable) --
     #: Clock at which the rule set first became non-empty (0.0 for
     #: warm-started runs, ``None`` when no rule ever surfaced).
@@ -108,7 +116,8 @@ class AdaptiveRuntime:
                  probe: Optional[TerminationStatsProbe] = None,
                  sample_phase: float = 0.0,
                  telemetry: Optional[TelemetryRecorder] = None,
-                 provenance: Optional[ProvenanceRecorder] = None):
+                 provenance: Optional[ProvenanceRecorder] = None,
+                 progress: Optional[ProgressTracker] = None):
         program.validate()
         self.program = program
         self.policy = policy
@@ -163,6 +172,13 @@ class AdaptiveRuntime:
             lambda: self.machine.clock,
             lambda component: self.accounting.cycles.get(component, 0.0))
         self.provenance.bind(lambda: self.machine.clock)
+        # Progress points (see repro.telemetry.progress) are pure
+        # instrumentation like telemetry and provenance: marking charges
+        # no cycles, so tracked runs stay cycle-identical to untracked
+        # ones.  Without a tracker the machine's marking hook stays cold.
+        self.progress = progress
+        if progress is not None:
+            instrument_progress(self.machine, program, progress)
 
         # ``sample_phase`` (in [0, 1)) offsets the first timer tick, playing
         # the role of Jikes RVM's timer nondeterminism: the paper reports
@@ -369,6 +385,8 @@ class AdaptiveRuntime:
             calls=machine.stats.calls,
             osr_transfers=machine.stats.osr_transfers,
             invalidations=self.database.invalidation_count,
+            progress_points=(self.progress.summary()
+                             if self.progress is not None else None),
             first_rule_clock=self.first_rule_clock,
             steady_state_clock=(self.database.compilations[-1].clock
                                 if self.database.compilations else None),

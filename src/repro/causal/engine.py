@@ -1,0 +1,315 @@
+"""The causal experiment engine: virtual-speedup grids over benchmarks.
+
+One causal *experiment cell* runs a fixed-seed benchmark under a cost
+model with exactly one component virtually sped up by one factor, and
+measures progress-point throughput (marks per cycle) against the
+matching *baseline cell* (same benchmark, family, seed; stock costs).
+The per-seed paired speedups feed the report layer's confidence
+intervals.
+
+The grid reuses the sweep harness wholesale: cells fan out over the
+fault-tolerant process pool of :mod:`repro.experiments.runner` with a
+causal-specific worker, and finished cells persist through the same
+content-addressed :class:`~repro.experiments.cell_cache.CellCache` --
+the causal fingerprint hashes the *scaled* cost model plus the seed
+index, so interrupted grids resume for free and a factor change never
+aliases a cached cell.
+
+Cell keys are sweep-shaped ``(str, str, int)`` tuples so the pool
+helpers apply unchanged: the middle slot carries
+``"<family>+<component>@<factor>"`` (or ``"<family>+baseline"``) and
+the integer slot is the seed index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aos.runtime import RunResult
+from repro.causal.components import apply_virtual_speedup, component_names
+from repro.experiments.cell_cache import CellCache
+from repro.experiments.config import cost_model_fingerprint
+from repro.experiments.runner import (CellFailure, CellKey,
+                                      _run_cell_with_retry,
+                                      _run_cells_parallel, run_single)
+from repro.fleet.harness import SEED_STRIDE
+from repro.jvm.costs import DEFAULT_COSTS
+from repro.jvm.errors import ConfigError
+from repro.telemetry.progress import ProgressTracker
+from repro.workloads.spec import build_benchmark
+
+#: Default virtual-speedup grid: 10% to 100% ("component is free").
+DEFAULT_FACTORS: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+#: Baseline marker used in the key's component slot.
+BASELINE = "baseline"
+
+#: Bumped whenever causal fingerprint inputs or the cached cell format
+#: change incompatibly.
+CAUSAL_FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CausalConfig:
+    """What to profile: benchmarks x families x components x factors."""
+
+    #: The ISSUE's trio spans the interesting personalities: jess
+    #: (compile-time dominated), db (guard/dispatch heavy), javac (deep
+    #: chains, organizer pressure).
+    benchmarks: Tuple[str, ...] = ("jess", "db", "javac")
+    families: Tuple[str, ...] = ("cins",)
+    depth: int = 2
+    components: Tuple[str, ...] = field(default_factory=component_names)
+    factors: Tuple[float, ...] = DEFAULT_FACTORS
+    #: Independent replicates per cell; each shifts the workload
+    #: generator seed by :data:`~repro.fleet.harness.SEED_STRIDE`.
+    seeds: int = 3
+    #: Single sampling phase per cell (causal cells are paired baseline
+    #: vs experiment at identical phase, so best-of-phases would only
+    #: blur the pairing).
+    phase: float = 0.0
+    scale: float = 1.0
+    jobs: int = 0
+    cell_timeout: Optional[float] = None
+
+    def validate(self) -> None:
+        known = set(component_names())
+        unknown = sorted(set(self.components) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown causal component(s): {', '.join(unknown)}; "
+                f"expected a subset of {', '.join(sorted(known))}")
+        for factor in self.factors:
+            if not 0.0 < factor <= 1.0:
+                raise ConfigError(
+                    f"virtual-speedup factors must be in (0, 1], "
+                    f"got {factor!r}")
+        if self.seeds < 1:
+            raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
+
+    def cells(self) -> List[CellKey]:
+        """All cell keys, baselines first (report order)."""
+        keys: List[CellKey] = []
+        for benchmark in self.benchmarks:
+            for family in self.families:
+                for seed_index in range(self.seeds):
+                    keys.append(baseline_key(benchmark, family, seed_index))
+        for benchmark in self.benchmarks:
+            for family in self.families:
+                for component in self.components:
+                    for factor in self.factors:
+                        for seed_index in range(self.seeds):
+                            keys.append(experiment_key(
+                                benchmark, family, component, factor,
+                                seed_index))
+        return keys
+
+
+# -- key encoding -------------------------------------------------------------
+
+def baseline_key(benchmark: str, family: str, seed_index: int) -> CellKey:
+    return (benchmark, f"{family}+{BASELINE}", seed_index)
+
+
+def experiment_key(benchmark: str, family: str, component: str,
+                   factor: float, seed_index: int) -> CellKey:
+    return (benchmark, f"{family}+{component}@{factor:g}", seed_index)
+
+
+def parse_key(key: CellKey) -> Tuple[str, str, Optional[str], float, int]:
+    """Decode ``(benchmark, family, component|None, factor, seed_index)``."""
+    benchmark, slot, seed_index = key
+    family, _, experiment = slot.partition("+")
+    if experiment == BASELINE:
+        return benchmark, family, None, 0.0, seed_index
+    component, _, factor_text = experiment.partition("@")
+    return benchmark, family, component, float(factor_text), seed_index
+
+
+# -- fingerprints -------------------------------------------------------------
+
+def causal_fingerprint(benchmark: str, family: str, depth: int,
+                       component: Optional[str], factor: float,
+                       seed_index: int, phase: float, scale: float) -> str:
+    """Content hash of everything that determines one causal cell.
+
+    Hashes the *scaled* cost model, so two different (component, factor)
+    pairs that happen to produce the same model still cache separately
+    only through their explicit identity fields -- and a change to the
+    stock :data:`DEFAULT_COSTS` invalidates every causal cell at once.
+    """
+    costs = DEFAULT_COSTS
+    if component is not None:
+        costs = apply_virtual_speedup(DEFAULT_COSTS, component, factor)
+    payload = json.dumps({
+        "version": CAUSAL_FINGERPRINT_VERSION,
+        "kind": "causal",
+        "benchmark": benchmark,
+        "family": family,
+        "depth": depth,
+        "component": component or BASELINE,
+        "factor": float(factor),
+        "seed_index": seed_index,
+        "phase": float(phase),
+        "scale": float(scale),
+        "costs": cost_model_fingerprint(costs),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: CausalConfig, key: CellKey) -> str:
+    benchmark, family, component, factor, seed_index = parse_key(key)
+    return causal_fingerprint(benchmark, family, config.depth, component,
+                              factor, seed_index, config.phase, config.scale)
+
+
+# -- the worker ---------------------------------------------------------------
+
+def _causal_worker(args) -> Tuple[CellKey, RunResult, None, None]:
+    """Run one causal cell; module-level so the process pool can pickle it.
+
+    Returns the ``(key, result, snapshot, log)`` shape the sweep pool
+    helpers expect; causal cells carry their measurements inside
+    :attr:`RunResult.progress_points`, so the snapshot/log slots stay
+    empty.
+    """
+    (benchmark, family, depth, phase, scale, seed_index,
+     component, factor) = args
+    costs = DEFAULT_COSTS
+    if component is not None:
+        costs = apply_virtual_speedup(DEFAULT_COSTS, component, factor)
+        key = experiment_key(benchmark, family, component, factor,
+                             seed_index)
+    else:
+        key = baseline_key(benchmark, family, seed_index)
+    generated = build_benchmark(benchmark, scale=scale,
+                                seed_offset=seed_index * SEED_STRIDE)
+    tracker = ProgressTracker(label=f"{key[0]}/{key[1]}/seed{seed_index}")
+    result = run_single(benchmark, family, depth, phase, scale, costs,
+                        progress=tracker, generated=generated)
+    return key, result, None, None
+
+
+# -- results ------------------------------------------------------------------
+
+@dataclass
+class CausalResults:
+    """All cells of one causal grid, with paired lookups."""
+
+    config: CausalConfig
+    cells: Dict[CellKey, RunResult]
+    failures: Dict[CellKey, CellFailure] = field(default_factory=dict)
+
+    def baseline(self, benchmark: str, family: str,
+                 seed_index: int) -> Optional[RunResult]:
+        return self.cells.get(baseline_key(benchmark, family, seed_index))
+
+    def experiment(self, benchmark: str, family: str, component: str,
+                   factor: float, seed_index: int) -> Optional[RunResult]:
+        return self.cells.get(experiment_key(benchmark, family, component,
+                                             factor, seed_index))
+
+    def pairs(self, benchmark: str, family: str, component: str,
+              factor: float) -> List[Tuple[int, RunResult, RunResult]]:
+        """Per-seed ``(seed_index, baseline, experiment)`` pairs.
+
+        Seeds where either side failed are silently absent; the report
+        layer flags cells whose pair count fell below the configured
+        replicate count.
+        """
+        paired = []
+        for seed_index in range(self.config.seeds):
+            base = self.baseline(benchmark, family, seed_index)
+            exp = self.experiment(benchmark, family, component, factor,
+                                  seed_index)
+            if base is not None and exp is not None:
+                paired.append((seed_index, base, exp))
+        return paired
+
+
+def run_causal(config: Optional[CausalConfig] = None,
+               cache: Optional[CellCache] = None,
+               verbose: bool = False) -> CausalResults:
+    """Run the causal grid, fanning cells out over worker processes.
+
+    Mirrors :func:`repro.experiments.runner.run_sweep`: cached cells are
+    loaded up front, fresh results persist the moment a worker finishes,
+    cells that fail even after retry are recorded instead of aborting.
+    """
+    if config is None:
+        config = CausalConfig()
+    config.validate()
+    cells = config.cells()
+    total = len(cells)
+    results: Dict[CellKey, RunResult] = {}
+    failures: Dict[CellKey, CellFailure] = {}
+
+    fingerprints: Dict[CellKey, str] = {}
+    if cache is not None:
+        fingerprints = {key: config_fingerprint(config, key)
+                        for key in cells}
+        results.update(cache.load_many(fingerprints))
+        # A cell cached without progress points (e.g. killed mid-write or
+        # a pre-causal cache collision) cannot feed rate math; re-run it.
+        stale = [key for key, result in results.items()
+                 if result.progress_points is None]
+        for key in stale:
+            del results[key]
+        if verbose and results:
+            print(f"  resumed {len(results)}/{total} causal cell(s) "
+                  f"from {cache.root}")
+
+    pending = [key for key in cells if key not in results]
+    done = len(results)
+
+    def finish(key: CellKey, result: RunResult, snapshot, log) -> None:
+        nonlocal done
+        results[key] = result
+        if cache is not None:
+            cache.store(fingerprints[key], key, result)
+        done += 1
+        if verbose:
+            print(f"  [{done}/{total}] done {key}")
+
+    def fail(key: CellKey, failure: CellFailure) -> None:
+        nonlocal done
+        failures[key] = failure
+        done += 1
+        if verbose:
+            print(f"  [{done}/{total}] FAILED {key}: "
+                  f"{failure.error_type}: {failure.message}")
+
+    def args_for(key: CellKey):
+        benchmark, family, component, factor, seed_index = parse_key(key)
+        return (benchmark, family, config.depth, config.phase, config.scale,
+                seed_index, component, factor)
+
+    if pending:
+        jobs = config.jobs if config.jobs > 0 else (os.cpu_count() or 2)
+        jobs = min(jobs, len(pending))
+        if jobs > 1:
+            pending = _run_cells_parallel(pending, args_for, jobs,
+                                          config.cell_timeout, finish, fail,
+                                          worker=_causal_worker)
+        for key in pending:
+            _run_cell_with_retry(key, args_for(key), finish, fail,
+                                 worker=_causal_worker)
+
+    missing_baselines = [
+        (benchmark, family)
+        for benchmark in config.benchmarks for family in config.families
+        if not any(baseline_key(benchmark, family, s) in results
+                   for s in range(config.seeds))
+    ]
+    if missing_baselines:
+        warnings.warn(
+            f"causal grid lost every baseline seed for "
+            f"{missing_baselines}; affected experiments cannot be paired",
+            RuntimeWarning, stacklevel=2)
+
+    return CausalResults(config=config, cells=results, failures=failures)

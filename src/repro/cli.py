@@ -41,6 +41,16 @@ Commands
     provenance.  Prints cold-start elimination, dilution, and
     eviction-policy sensitivity; ``-o`` writes the versioned
     ``repro.fleet/v1`` JSON bundle.
+``causal``
+    Coz-style causal profiling: re-run fixed-seed benchmarks with one
+    AOS component virtually sped up at a time (guard, dispatch,
+    compile, organizer, listener, invalidation) across a factor grid,
+    measure the change in progress-point throughput against same-seed
+    baselines, and print the component x factor "what's worth
+    optimizing" ranking with multi-seed confidence intervals and
+    noise flags; ``-o`` writes the versioned ``repro.causal/v1`` JSON
+    bundle, ``--trace-out`` exports an annotated Chrome trace of the
+    top-ranked experiment.
 ``analyze``
     Static analysis over benchmarks: run the program verifier, build
     call graphs at the requested precision tiers (``--precision cha rta
@@ -235,6 +245,50 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("-o", "--out", default=None,
                        help="also write the repro.fleet/v1 JSON bundle "
                             "here")
+
+    causal = sub.add_parser(
+        "causal",
+        help="causal profiling: virtually speed up one AOS component at "
+             "a time and rank components by the progress-rate speedup "
+             "their speedup would buy")
+    causal.add_argument("--benchmarks", nargs="*", default=None,
+                        choices=BENCHMARK_ORDER,
+                        help="benchmarks to profile (default: jess db "
+                             "javac)")
+    causal.add_argument("--families", nargs="*", default=None,
+                        choices=POLICY_LABELS,
+                        help="policy families to profile under "
+                             "(default: cins)")
+    causal.add_argument("--depth", type=int, default=2,
+                        help="maximum context-sensitivity depth")
+    causal.add_argument("--components", nargs="*", default=None,
+                        help="causal components to speed up (default: "
+                             "all six; see repro.causal.components)")
+    causal.add_argument("--factors", type=float, nargs="*", default=None,
+                        help="virtual-speedup factors in (0, 1] "
+                             "(default: 0.1 0.25 0.5 0.75 1.0)")
+    causal.add_argument("--seeds", type=int, default=3,
+                        help="independent workload-seed replicates per "
+                             "cell")
+    causal.add_argument("--phase", type=float, default=0.0,
+                        help="sampling phase in [0, 1)")
+    causal.add_argument("--scale", type=float, default=1.0,
+                        help="run-length scale factor")
+    causal.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (0 = all cores)")
+    causal.add_argument("--timeout", type=float, default=None,
+                        help="per-cell timeout in seconds when running "
+                             "on a worker pool")
+    causal.add_argument("--cache", default=None,
+                        help="per-cell cache directory; interrupted "
+                             "grids resume from it")
+    causal.add_argument("-o", "--out", default=None,
+                        help="also write the repro.causal/v1 JSON bundle "
+                             "here")
+    causal.add_argument("--trace-out", default=None,
+                        help="re-run the top-ranked experiment with "
+                             "telemetry and write an annotated Chrome "
+                             "trace here")
 
     analyze = sub.add_parser(
         "analyze",
@@ -500,6 +554,69 @@ def _cmd_fleet(args) -> int:
     return 0 if bundle["ok"] else 1
 
 
+def _cmd_causal(args) -> int:
+    from repro.causal import (CausalConfig, apply_virtual_speedup,
+                              build_causal_bundle, render_causal_bundle,
+                              run_causal, write_causal_bundle)
+    from repro.experiments.cell_cache import CellCache
+    from repro.jvm.errors import ConfigError
+
+    kwargs = {}
+    if args.benchmarks:
+        kwargs["benchmarks"] = tuple(args.benchmarks)
+    if args.families:
+        kwargs["families"] = tuple(args.families)
+    if args.components:
+        kwargs["components"] = tuple(args.components)
+    if args.factors:
+        kwargs["factors"] = tuple(args.factors)
+    config = CausalConfig(depth=args.depth, seeds=args.seeds,
+                          phase=args.phase, scale=args.scale,
+                          jobs=args.jobs, cell_timeout=args.timeout,
+                          **kwargs)
+    try:
+        config.validate()
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+
+    cache = CellCache(args.cache) if args.cache else None
+    results = run_causal(config, cache=cache, verbose=True)
+    bundle = build_causal_bundle(results)
+    print(render_causal_bundle(bundle))
+    if args.out:
+        write_causal_bundle(args.out, bundle)
+        print(f"bundle -> {args.out}")
+
+    if args.trace_out and bundle["ranking"]:
+        from repro.jvm.costs import DEFAULT_COSTS
+        from repro.telemetry import TelemetryRecorder, write_chrome_trace
+        from repro.telemetry.progress import ProgressTracker
+
+        top = bundle["ranking"][0]["component"]
+        factor = max(config.factors)
+        benchmark = config.benchmarks[0]
+        family = config.families[0]
+        recorder = TelemetryRecorder(
+            label=f"{benchmark}/{family}+{top}@{factor:g}")
+        tracker = ProgressTracker(label=recorder.label,
+                                  telemetry=recorder)
+        run_single(benchmark, family, config.depth, phase=config.phase,
+                   scale=config.scale,
+                   costs=apply_virtual_speedup(DEFAULT_COSTS, top, factor),
+                   telemetry=recorder, progress=tracker)
+        events = write_chrome_trace(
+            args.trace_out, recorder.snapshot(),
+            annotations={"causal_experiment": {
+                "benchmark": benchmark, "family": family,
+                "component": top, "factor": factor,
+                "schema": bundle["schema"],
+            }})
+        print(f"{events} trace events -> {args.trace_out} "
+              f"(top experiment, annotated)")
+    return 0 if bundle["ok"] else 1
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis import (analyze_benchmark, bundle_reports,
                                 render_bundle, write_report)
@@ -532,6 +649,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "decisions": _cmd_decisions,
     "fleet": _cmd_fleet,
+    "causal": _cmd_causal,
     "analyze": _cmd_analyze,
 }
 

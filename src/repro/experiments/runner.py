@@ -43,6 +43,7 @@ from repro.jvm.costs import DEFAULT_COSTS, CostModel
 from repro.policies import make_policy
 from repro.provenance.recorder import ProvenanceRecorder
 from repro.provenance.records import ProvenanceRecord
+from repro.telemetry.progress import ProgressTracker
 from repro.telemetry.recorder import TelemetryRecorder, TelemetrySnapshot
 from repro.workloads.spec import GeneratedBenchmark, build_benchmark
 
@@ -60,19 +61,23 @@ def run_single(benchmark: str, family: str, depth: int,
                probe: Optional[TerminationStatsProbe] = None,
                telemetry: Optional[TelemetryRecorder] = None,
                provenance: Optional[ProvenanceRecorder] = None,
+               progress: Optional[ProgressTracker] = None,
                generated: Optional[GeneratedBenchmark] = None) -> RunResult:
     """Run one benchmark under one policy at one sampling phase.
 
     ``generated`` lets callers reuse an already-built benchmark program
     (it is read-only to the runtime); without it the benchmark is built
-    from scratch.
+    from scratch.  A ``progress`` tracker records main-loop throughput
+    marks into ``RunResult.progress_points`` (zero-overhead, like
+    telemetry and provenance).
     """
     if generated is None:
         generated = build_benchmark(benchmark, scale=scale)
     policy = make_policy(family, depth, costs)
     runtime = AdaptiveRuntime(generated.program, policy, costs,
                               probe=probe, sample_phase=phase,
-                              telemetry=telemetry, provenance=provenance)
+                              telemetry=telemetry, provenance=provenance,
+                              progress=progress)
     return runtime.run()
 
 
@@ -303,19 +308,25 @@ _FailFn = Callable[[CellKey, "CellFailure"], None]
 
 
 def _run_cell_with_retry(key: CellKey, args, finish: _FinishFn,
-                         fail: _FailFn, attempts_before: int = 0) -> None:
+                         fail: _FailFn, attempts_before: int = 0,
+                         worker=None) -> None:
     """Run one cell in-process; retry up to :data:`MAX_CELL_ATTEMPTS`.
 
     ``attempts_before`` counts attempts already burned on a worker pool
     (a crashed or erroring worker), so a pool failure gets exactly one
-    serial retry before the failure is recorded.
+    serial retry before the failure is recorded.  ``worker`` swaps the
+    cell function (the causal-profiler grid reuses this fault-tolerance
+    layer with its own worker); it must return the same
+    ``(key, result, snapshot, log)`` shape as :func:`_cell_worker`.
     """
+    if worker is None:
+        worker = _cell_worker
     attempts = attempts_before
     last: Optional[BaseException] = None
     while attempts < MAX_CELL_ATTEMPTS:
         attempts += 1
         try:
-            _key, result, snapshot, log = _cell_worker(args)
+            _key, result, snapshot, log = worker(args)
         except Exception as exc:
             last = exc
             continue
@@ -330,7 +341,7 @@ def _run_cell_with_retry(key: CellKey, args, finish: _FinishFn,
 
 def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
                         timeout: Optional[float], finish: _FinishFn,
-                        fail: _FailFn) -> List[CellKey]:
+                        fail: _FailFn, worker=None) -> List[CellKey]:
     """Fan pending cells out over a process pool, fault-tolerantly.
 
     Returns the cells that still need in-process execution: all of them
@@ -338,14 +349,18 @@ def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
     ``multiprocessing``), or the cells stranded when a worker crash broke
     the pool.  In-worker exceptions are retried once serially right here;
     per-cell timeouts become recorded failures (the cell already proved
-    it exceeds its budget, so it is not retried).
+    it exceeds its budget, so it is not retried).  ``worker`` swaps the
+    cell function (see :func:`_run_cell_with_retry`); it must be
+    picklable (module-level).
     """
+    if worker is None:
+        worker = _cell_worker
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeout
         from concurrent.futures.process import BrokenProcessPool
         executor = ProcessPoolExecutor(max_workers=jobs)
-        futures = [(key, executor.submit(_cell_worker, args_for(key)))
+        futures = [(key, executor.submit(worker, args_for(key)))
                    for key in pending]
     except Exception as exc:
         warnings.warn(
@@ -373,7 +388,7 @@ def _run_cells_parallel(pending: Sequence[CellKey], args_for, jobs: int,
                 stranded.append(key)
             except Exception:
                 _run_cell_with_retry(key, args_for(key), finish, fail,
-                                     attempts_before=1)
+                                     attempts_before=1, worker=worker)
             else:
                 finish(key, result, snapshot, log)
     finally:

@@ -273,9 +273,31 @@ class CostModel:
         return self.baseline_exec_mult / self.opt_exec_mult
 
     def replace(self, **overrides: object) -> "CostModel":
-        """Return a copy of this model with the given fields replaced."""
-        import dataclasses
+        """Return a copy of this model with the given fields replaced.
 
+        Unknown field names raise :class:`~repro.jvm.errors.ConfigError`
+        naming the closest valid fields.  A misspelled override that
+        slipped through would silently run the *baseline* model -- in a
+        causal-profiling experiment that corrupts the whole profile, so
+        the failure must be loud and diagnosable.
+        """
+        import dataclasses
+        import difflib
+
+        from repro.jvm.errors import ConfigError
+
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, sorted(valid), n=1)
+                hints.append(f"{name!r}"
+                             + (f" (did you mean {close[0]!r}?)"
+                                if close else ""))
+            raise ConfigError(
+                f"unknown CostModel field(s): {', '.join(hints)}; "
+                f"valid fields: {', '.join(sorted(valid))}")
         return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
 
 

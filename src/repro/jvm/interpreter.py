@@ -112,6 +112,14 @@ class Machine:
         #: cycles and must not mutate machine state; the soundness
         #: checker uses it to collect dynamic call-graph edges.
         self.dispatch_observer: Optional[Callable[[int, str], None]] = None
+        #: Progress points (see :mod:`repro.telemetry.progress`): loop
+        #: statements registered here by identity mark the named point
+        #: once per *completed* iteration via :attr:`progress_observer`.
+        #: Pure instrumentation under the same contract as
+        #: ``dispatch_observer``: no cycles charged, no state mutated,
+        #: so tracked and untracked runs are cycle-identical.
+        self.progress_loops: dict = {}
+        self.progress_observer: Optional[Callable[[str], None]] = None
 
     # -- cost charging -----------------------------------------------------
 
@@ -255,6 +263,8 @@ class Machine:
                 count = self._eval(stmt.count, args, locals_)
                 idx = stmt.index_local
                 loop_body = stmt.body
+                progress = (self.progress_loops.get(id(stmt))
+                            if self.progress_loops else None)
                 if node is None and costs.osr_enabled:
                     # Baseline tier: count back edges, request compilation
                     # past the threshold, and poll for installed optimized
@@ -270,6 +280,8 @@ class Machine:
                         if result is not None:
                             self.backedge_counts[method_id] = edges + i + 1
                             return result
+                        if progress is not None:
+                            self.progress_observer(progress)
                         if (i + 1) % poll == 0:
                             total = edges + i + 1
                             if (total >= costs.osr_backedge_threshold
@@ -298,6 +310,8 @@ class Machine:
                                                  mult, node)
                         if result is not None:
                             return result
+                        if progress is not None:
+                            self.progress_observer(progress)
             elif k == S_IF:
                 cond = self._eval(stmt.cond, args, locals_)
                 branch = stmt.then_body if cond else stmt.else_body

@@ -10,13 +10,19 @@ The subsystem has four parts:
 * :mod:`~repro.telemetry.summary` -- per-component overhead tables that
   reconcile exactly with :class:`~repro.aos.cost_accounting.CostAccounting`;
 * :mod:`~repro.telemetry.aggregate` -- merging recorders across sweep
-  worker processes into combined tables and multi-process traces.
+  worker processes into combined tables and multi-process traces;
+* :mod:`~repro.telemetry.progress` -- progress points: named throughput
+  markers on the cycle clock (Coz-style), the measurement surface of the
+  causal profiler (:mod:`repro.causal`).
 """
 
 from repro.telemetry.recorder import (NULL_RECORDER, HistogramData,
                                       InstantRecord, NullRecorder,
                                       SpanRecord, TelemetryRecorder,
                                       TelemetrySnapshot)
+from repro.telemetry.progress import (ProgressPointStats, ProgressTracker,
+                                      instrument_progress, main_loop_points,
+                                      progress_rate)
 from repro.telemetry.chrome_trace import (to_chrome_trace, trace_events,
                                           write_chrome_trace)
 from repro.telemetry.summary import (component_totals, fractions, reconcile,
@@ -30,11 +36,13 @@ from repro.telemetry.aggregate import (cell_label, label_cell_snapshots,
 
 __all__ = [
     "NULL_RECORDER", "HistogramData", "InstantRecord", "NullRecorder",
+    "ProgressPointStats", "ProgressTracker",
     "SpanRecord", "TelemetryRecorder", "TelemetrySnapshot",
-    "cell_label", "component_totals", "fractions", "label_cell_snapshots",
+    "cell_label", "component_totals", "fractions", "instrument_progress",
+    "label_cell_snapshots", "main_loop_points",
     "merge_cell_telemetry", "merge_component_totals",
     "merge_counters", "merge_histograms", "merged_chrome_trace",
-    "reconcile", "render_aggregate", "span_stats", "summarize",
-    "to_chrome_trace", "trace_events", "write_chrome_trace",
+    "progress_rate", "reconcile", "render_aggregate", "span_stats",
+    "summarize", "to_chrome_trace", "trace_events", "write_chrome_trace",
     "write_merged_chrome_trace",
 ]

@@ -78,23 +78,35 @@ def trace_events(snapshot: TelemetrySnapshot, pid: int = 1) -> List[dict]:
     return events + body
 
 
-def to_chrome_trace(snapshot: TelemetrySnapshot, pid: int = 1) -> dict:
-    """Build the top-level Chrome trace object for one snapshot."""
+def to_chrome_trace(snapshot: TelemetrySnapshot, pid: int = 1,
+                    annotations: Optional[Mapping[str, Any]] = None) -> dict:
+    """Build the top-level Chrome trace object for one snapshot.
+
+    ``annotations`` are extra ``otherData`` entries -- the causal
+    profiler stamps its experiment parameters (component, virtual-
+    speedup factor, seed) here so a trace is self-describing.  They
+    cannot shadow the built-in keys.
+    """
+    other_data: Dict[str, Any] = {
+        "label": snapshot.label,
+        "total_cycles": snapshot.total_cycles,
+        "clock_unit": "simulated cycles (rendered as microseconds)",
+    }
+    if annotations:
+        for key in sorted(annotations):
+            other_data.setdefault(str(key), annotations[key])
     return {
         "traceEvents": trace_events(snapshot, pid=pid),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "label": snapshot.label,
-            "total_cycles": snapshot.total_cycles,
-            "clock_unit": "simulated cycles (rendered as microseconds)",
-        },
+        "otherData": other_data,
     }
 
 
 def write_chrome_trace(path: str, snapshot: TelemetrySnapshot,
-                       pid: int = 1) -> int:
+                       pid: int = 1,
+                       annotations: Optional[Mapping[str, Any]] = None) -> int:
     """Write one snapshot's Chrome trace JSON; returns the event count."""
-    trace = to_chrome_trace(snapshot, pid=pid)
+    trace = to_chrome_trace(snapshot, pid=pid, annotations=annotations)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return len(trace["traceEvents"])

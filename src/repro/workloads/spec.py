@@ -171,12 +171,17 @@ def benchmark_names() -> Tuple[str, ...]:
 
 
 def build_benchmark(name: str,
-                    scale: float = 1.0) -> GeneratedBenchmark:
+                    scale: float = 1.0,
+                    seed_offset: int = 0) -> GeneratedBenchmark:
     """Generate one benchmark; ``scale`` shrinks/grows its run length.
 
     ``scale`` rescales only the *dynamic* length (main-loop iterations); the
     static Table 1 characteristics are untouched, so quick test runs still
-    exercise the full program shape.
+    exercise the full program shape.  ``seed_offset`` shifts the generator
+    seed for multi-seed experiments (fleet instances, causal-profiler
+    replicates); the program *shape* is seed-dependent only in its random
+    draws, so offset runs are same-personality variants, not new
+    benchmarks.
     """
     try:
         spec = SPECS[name]
@@ -184,9 +189,11 @@ def build_benchmark(name: str,
         raise ConfigError(
             f"unknown benchmark {name!r}; expected one of "
             f"{BENCHMARK_ORDER}") from None
-    if scale != 1.0:
-        iterations = max(50, int(spec.iterations * scale))
-        spec = dataclasses.replace(spec, iterations=iterations)
+    if scale != 1.0 or seed_offset:
+        iterations = (max(50, int(spec.iterations * scale))
+                      if scale != 1.0 else spec.iterations)
+        spec = dataclasses.replace(spec, iterations=iterations,
+                                   seed=spec.seed + seed_offset)
     return generate(spec)
 
 

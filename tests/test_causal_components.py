@@ -1,0 +1,121 @@
+"""The causal component registry and virtual-speedup transform."""
+
+import dataclasses
+
+import pytest
+
+from repro.causal.components import (CAUSAL_COMPONENTS, accounted_share,
+                                     apply_virtual_speedup, component_names,
+                                     get_component)
+from repro.jvm.costs import DEFAULT_COSTS, CostModel
+from repro.jvm.errors import ConfigError
+
+
+class TestRegistry:
+    def test_names_are_unique_and_ordered(self):
+        names = component_names()
+        assert len(names) == len(set(names))
+        assert len(names) >= 4  # the report must rank at least four
+
+    def test_every_cost_field_exists_on_the_model(self):
+        valid = {f.name for f in dataclasses.fields(CostModel)}
+        for component in CAUSAL_COMPONENTS:
+            missing = set(component.cost_fields) - valid
+            assert not missing, (component.name, missing)
+
+    def test_no_decision_side_fields_are_scaled(self):
+        # Scaling these would change policy, not component speed.
+        decision_knobs = {"max_inline_depth", "space_expansion_factor",
+                          "absolute_size_cap", "tiny_limit", "small_limit",
+                          "medium_limit", "hot_edge_threshold",
+                          "guard_coverage_min", "max_guarded_targets"}
+        for component in CAUSAL_COMPONENTS:
+            assert not decision_knobs & set(component.cost_fields), \
+                component.name
+
+    def test_get_component_suggests_on_typo(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_component("gaurd")
+        assert "gaurd" in str(excinfo.value)
+        assert "guard" in str(excinfo.value)
+
+
+class TestApplyVirtualSpeedup:
+    def test_scales_only_the_component_fields(self):
+        scaled = apply_virtual_speedup(DEFAULT_COSTS, "guard", 0.25)
+        assert scaled.guard_test == pytest.approx(
+            DEFAULT_COSTS.guard_test * 0.75)
+        untouched = {f.name for f in dataclasses.fields(CostModel)} \
+            - {"guard_test"}
+        for name in untouched:
+            assert getattr(scaled, name) == getattr(DEFAULT_COSTS, name)
+
+    def test_factor_one_makes_component_free(self):
+        scaled = apply_virtual_speedup(DEFAULT_COSTS, "compile", 1.0)
+        assert scaled.opt_compile_cycles_per_bc == 0.0
+        assert scaled.baseline_compile_cycles_per_bc == 0.0
+
+    def test_original_model_is_untouched(self):
+        before = dataclasses.asdict(DEFAULT_COSTS)
+        apply_virtual_speedup(DEFAULT_COSTS, "organizer", 0.5)
+        assert dataclasses.asdict(DEFAULT_COSTS) == before
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_out_of_range_factor_rejected(self, factor):
+        with pytest.raises(ConfigError):
+            apply_virtual_speedup(DEFAULT_COSTS, "guard", factor)
+
+    def test_every_component_is_applicable(self):
+        for name in component_names():
+            scaled = apply_virtual_speedup(DEFAULT_COSTS, name, 0.5)
+            spec = get_component(name)
+            for field_name in spec.cost_fields:
+                assert getattr(scaled, field_name) == pytest.approx(
+                    getattr(DEFAULT_COSTS, field_name) * 0.5)
+
+
+class TestAccountedShare:
+    @staticmethod
+    def _result(**overrides):
+        from repro.aos.runtime import RunResult
+        base = dict(
+            program_name="p", policy_name="q", return_value=0,
+            total_cycles=10_000.0,
+            component_cycles={"app": 9_000.0, "aos_listeners": 100.0,
+                              "compilation_thread": 500.0,
+                              "decay_organizer": 100.0,
+                              "ai_organizer": 100.0,
+                              "method_sample_organizer": 100.0,
+                              "controller_thread": 100.0},
+            opt_code_bytes=0, live_opt_code_bytes=0, opt_compilations=0,
+            opt_compile_cycles=0.0, opt_inlined_bytecodes=0,
+            classes_loaded=0, methods_compiled=0, bytecodes_compiled=0,
+            samples_taken=0, traces_recorded=0, mean_trace_depth=0.0,
+            depth_histogram={}, dcg_traces=0, rule_count=0, refusals=0,
+            guard_tests=500, guard_misses=0, dispatches=100,
+            inline_entries=0, calls=200, osr_transfers=0, invalidations=0)
+        base.update(overrides)
+        return RunResult(**base)
+
+    def test_accounting_backed_components(self):
+        result = self._result()
+        assert accounted_share("compile", result, DEFAULT_COSTS) == \
+            pytest.approx(0.05)
+        assert accounted_share("listener", result, DEFAULT_COSTS) == \
+            pytest.approx(0.01)
+        assert accounted_share("organizer", result, DEFAULT_COSTS) == \
+            pytest.approx(0.04)
+
+    def test_guard_and_dispatch_estimated_from_counts(self):
+        result = self._result()
+        expected_guard = 500 * DEFAULT_COSTS.guard_test / 10_000.0
+        assert accounted_share("guard", result, DEFAULT_COSTS) == \
+            pytest.approx(expected_guard)
+        expected_dispatch = (100 * DEFAULT_COSTS.virtual_dispatch
+                             + 200 * DEFAULT_COSTS.call_overhead) / 10_000.0
+        assert accounted_share("dispatch", result, DEFAULT_COSTS) == \
+            pytest.approx(expected_dispatch)
+
+    def test_invalidation_has_no_share(self):
+        assert accounted_share("invalidation", self._result(),
+                               DEFAULT_COSTS) is None

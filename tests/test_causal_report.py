@@ -1,0 +1,119 @@
+"""The causal report: statistics, ranking, bundle schema, rendering."""
+
+import json
+
+import pytest
+
+from repro.causal.engine import CausalConfig, run_causal
+from repro.causal.report import (CAUSAL_SCHEMA, build_causal_bundle,
+                                 cell_stats, component_curve,
+                                 render_causal_bundle,
+                                 validate_causal_bundle,
+                                 write_causal_bundle)
+
+#: One grid with a clear winner (free compiler) and a near-noop
+#: (listener at 10%), three seeds for non-degenerate intervals.
+GRID = CausalConfig(benchmarks=("jess",), families=("cins",),
+                    components=("compile", "listener"),
+                    factors=(0.1, 1.0), seeds=3, scale=0.04, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_causal(GRID)
+
+
+@pytest.fixture(scope="module")
+def bundle(results):
+    return build_causal_bundle(results)
+
+
+class TestCellStats:
+    def test_fields_and_seed_count(self, results):
+        stats = cell_stats(results, "jess", "cins", "compile", 1.0)
+        assert stats["seeds"] == 3
+        assert stats["expected_seeds"] == 3
+        assert stats["mean_speedup_pct"] > 0
+        assert stats["ci_low"] <= stats["mean_speedup_pct"] \
+            <= stats["ci_high"]
+        assert len(stats["per_seed_speedup_pct"]) == 3
+
+    def test_missing_cell_is_noisy_with_no_mean(self, results):
+        stats = cell_stats(results, "jess", "cins", "guard", 1.0)
+        assert stats["seeds"] == 0
+        assert stats["mean_speedup_pct"] is None
+        assert stats["noisy"] is True
+
+
+class TestComponentCurve:
+    def test_curve_is_factor_sorted(self, results):
+        curve = component_curve(results, "jess", "cins", "compile")
+        assert [cell["factor"] for cell in curve["cells"]] == [0.1, 1.0]
+        assert curve["peak_speedup_pct"] is not None
+        assert curve["accounted_share_pct"] is not None
+
+
+class TestBundle:
+    def test_schema_and_ok(self, bundle):
+        assert bundle["schema"] == CAUSAL_SCHEMA
+        assert bundle["ok"] is True
+        assert bundle["problems"] == []
+
+    def test_ranking_prefers_the_free_compiler(self, bundle):
+        names = [entry["component"] for entry in bundle["ranking"]]
+        assert names[0] == "compile"
+        assert set(names) == {"compile", "listener"}
+
+    def test_validation_sign_agreement(self, bundle):
+        validation = bundle["validation"]
+        assert validation["top_component"] == "compile"
+        assert validation["sign_agrees"] is True
+        assert validation["progress_rate_speedup_pct"] > 0
+        assert validation["wall_clock_speedup_pct"] > 0
+
+    def test_bundle_is_deterministic(self, results):
+        assert build_causal_bundle(results) == build_causal_bundle(results)
+
+    def test_bundle_is_strict_json(self, bundle, tmp_path):
+        # Infinite CI bounds must serialize as null, not the JSON
+        # extension constants Infinity/NaN (which json.load accepts by
+        # default but strict parsers reject).
+        path = str(tmp_path / "causal.json")
+        write_causal_bundle(path, bundle)
+
+        def reject(constant):
+            raise ValueError(f"non-strict constant {constant}")
+
+        with open(path) as handle:
+            loaded = json.loads(handle.read(), parse_constant=reject)
+        assert loaded["schema"] == CAUSAL_SCHEMA
+
+
+class TestValidate:
+    def test_wrong_schema(self):
+        problems = validate_causal_bundle({"schema": "nope"})
+        assert problems and "schema" in problems[0]
+
+    def test_missing_seed_pairs_flagged(self, bundle):
+        import copy
+        broken = copy.deepcopy(bundle)
+        cell = broken["benchmarks"][0]["components"][0]["cells"][0]
+        cell["seeds"] = 1
+        problems = validate_causal_bundle(broken)
+        assert any("seed pair" in problem for problem in problems)
+
+    def test_sign_disagreement_flagged(self, bundle):
+        import copy
+        broken = copy.deepcopy(bundle)
+        broken["validation"]["sign_agrees"] = False
+        problems = validate_causal_bundle(broken)
+        assert any("disagrees" in problem for problem in problems)
+
+
+class TestRender:
+    def test_render_mentions_components_and_verdict(self, bundle):
+        text = render_causal_bundle(bundle)
+        assert "What's worth optimizing" in text
+        assert "compile" in text and "listener" in text
+        assert "causal bundle: OK" in text
+        assert "sign agrees" in text

@@ -64,6 +64,36 @@ class TestCostModel:
         assert model.hot_edge_threshold != 0.05
         assert changed.sample_interval == model.sample_interval
 
+    def test_replace_rejects_unknown_field(self):
+        from repro.jvm.errors import ConfigError
+        model = CostModel()
+        with pytest.raises(ConfigError) as excinfo:
+            model.replace(guard_tset=0)
+        # The error must name the typo and suggest the real field: a
+        # silently-ignored override would run the baseline model and
+        # corrupt any causal profile built on top of it.
+        message = str(excinfo.value)
+        assert "guard_tset" in message
+        assert "guard_test" in message
+
+    def test_replace_rejects_derived_property(self):
+        from repro.jvm.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CostModel().replace(estimated_opt_speedup=3.0)
+
+    def test_replace_reports_all_unknowns(self):
+        from repro.jvm.errors import ConfigError
+        with pytest.raises(ConfigError) as excinfo:
+            CostModel().replace(bogus_one=1, bogus_two=2)
+        assert "bogus_one" in str(excinfo.value)
+        assert "bogus_two" in str(excinfo.value)
+
+    def test_replace_accepts_float_override_of_int_field(self):
+        # Virtual-speedup experiments scale integer cycle costs by
+        # fractional factors; the model must carry them through.
+        changed = CostModel().replace(guard_test=0.5)
+        assert changed.guard_test == 0.5
+
     def test_default_costs_singleton_sane(self):
         assert DEFAULT_COSTS.baseline_exec_mult > DEFAULT_COSTS.opt_exec_mult
         assert 0.0 < DEFAULT_COSTS.hot_edge_threshold < 1.0
