@@ -1,18 +1,22 @@
-"""Record the checked-in fleet perf baseline (``BENCH_fleet_baseline.json``).
+"""Record the checked-in perf baselines.
 
-Runs the deterministic fleet experiment (founder fleet -> warm and cold
-late joiners) on a few benchmarks and captures the cycle numbers the
-ROADMAP asks to track from here on: cycles to the first stable inline
-rule and cycles to steady state, cold vs warm-started.  Everything is
-fixed-seed and simulated-cycle-exact, so the baseline only moves when
-the system's behaviour moves.
+Two baselines live here, both fixed-seed and simulated-cycle-exact so
+they only move when the system's behaviour moves:
+
+* ``BENCH_fleet_baseline.json`` -- the deterministic fleet experiment
+  (founder fleet -> warm and cold late joiners): cycles to the first
+  stable inline rule and to steady state, cold vs warm-started.
+* ``BENCH_speculation_baseline.json`` -- guard-cycle numbers with the
+  speculation pass off vs on (guard tests/misses, elided entries) plus
+  the elision-replay verdict, on the benchmarks where elision fires
+  (jess) and where the analysis soundly refuses it (db).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/record_bench.py          # rewrite
     PYTHONPATH=src python benchmarks/record_bench.py --check  # CI drift gate
 
-``--check`` re-measures and exits non-zero if the committed baseline no
+``--check`` re-measures and exits non-zero if a committed baseline no
 longer matches (same contract as the golden decision log).
 """
 
@@ -25,16 +29,30 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.analysis.soundness import check_elision_soundness  # noqa: E402
+from repro.aos.runtime import AdaptiveRuntime  # noqa: E402
 from repro.fleet.report import benchmark_report  # noqa: E402
+from repro.jvm.costs import DEFAULT_COSTS  # noqa: E402
+from repro.policies import make_policy  # noqa: E402
+from repro.workloads.spec import build_benchmark  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
                              "BENCH_fleet_baseline.json")
+SPEC_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
+                                  "BENCH_speculation_baseline.json")
 
 #: The tracked configuration: small enough to re-measure in CI, big
 #: enough that warm starts have something to eliminate.
 BENCHMARKS = ("jess", "db", "javac")
 INSTANCES = 3
 SCALE = 0.1
+
+#: Speculation baseline: jess is the headline elision win; db is the
+#: sound-refusal control (its guarded site keeps a live fallthrough, so
+#: elision must leave it untouched).  0.3 is the smallest scale at which
+#: jess compiles its guarded sites.
+SPEC_BENCHMARKS = ("jess", "db")
+SPEC_SCALE = 0.3
 
 
 def measure() -> dict:
@@ -62,31 +80,65 @@ def measure() -> dict:
     }
 
 
+def measure_speculation() -> dict:
+    rows = {}
+    for name in SPEC_BENCHMARKS:
+        row = {}
+        for label, enabled in (("off", False), ("on", True)):
+            costs = DEFAULT_COSTS.replace(speculation_enabled=enabled)
+            built = build_benchmark(name, scale=SPEC_SCALE)
+            runtime = AdaptiveRuntime(built.program,
+                                      make_policy("cins", costs=costs),
+                                      costs=costs)
+            result = runtime.run()
+            row[f"guard_tests_{label}"] = result.guard_tests
+            row[f"guard_misses_{label}"] = result.guard_misses
+            row[f"elided_entries_{label}"] = result.elided_entries
+        replay = check_elision_soundness(
+            build_benchmark(name, scale=SPEC_SCALE).program)
+        row["replay_ok"] = replay.ok
+        rows[name] = row
+    return {
+        "schema": "repro.bench-speculation/v1",
+        "config": {"benchmarks": list(SPEC_BENCHMARKS),
+                   "scale": SPEC_SCALE, "family": "cins"},
+        "benchmarks": rows,
+    }
+
+
+def _check_one(path: str, payload: str, label: str) -> int:
+    try:
+        with open(path) as handle:
+            committed = handle.read()
+    except FileNotFoundError:
+        print(f"no baseline at {path}; run without --check first",
+              file=sys.stderr)
+        return 1
+    if committed != payload:
+        print(f"{label} baseline drifted; re-record with "
+              "`python benchmarks/record_bench.py` and commit the "
+              "diff if the change is intended", file=sys.stderr)
+        return 1
+    print(f"baseline up to date ({path})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
-                        help="verify the committed baseline instead of "
-                             "rewriting it")
+                        help="verify the committed baselines instead of "
+                             "rewriting them")
     parser.add_argument("--out", default=BASELINE_PATH)
+    parser.add_argument("--spec-out", default=SPEC_BASELINE_PATH)
     args = parser.parse_args(argv)
 
     baseline = measure()
     payload = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    spec_baseline = measure_speculation()
+    spec_payload = json.dumps(spec_baseline, indent=2, sort_keys=True) + "\n"
     if args.check:
-        try:
-            with open(args.out) as handle:
-                committed = handle.read()
-        except FileNotFoundError:
-            print(f"no baseline at {args.out}; run without --check first",
-                  file=sys.stderr)
-            return 1
-        if committed != payload:
-            print("fleet perf baseline drifted; re-record with "
-                  "`python benchmarks/record_bench.py` and commit the "
-                  "diff if the change is intended", file=sys.stderr)
-            return 1
-        print(f"baseline up to date ({args.out})")
-        return 0
+        return (_check_one(args.out, payload, "fleet perf")
+                or _check_one(args.spec_out, spec_payload, "speculation"))
 
     with open(args.out, "w") as handle:
         handle.write(payload)
@@ -96,6 +148,15 @@ def main(argv=None) -> int:
               f"-> warm {row['first_rule_clock_warm']:,.0f} "
               f"(saves {saved:,.0f} cycles)")
     print(f"baseline -> {args.out}")
+
+    with open(args.spec_out, "w") as handle:
+        handle.write(spec_payload)
+    for name, row in spec_baseline["benchmarks"].items():
+        print(f"{name}: guard tests {row['guard_tests_off']:,} -> "
+              f"{row['guard_tests_on']:,} "
+              f"({row['elided_entries_on']:,} elided entries, replay "
+              f"{'ok' if row['replay_ok'] else 'VIOLATED'})")
+    print(f"speculation baseline -> {args.spec_out}")
     return 0
 
 

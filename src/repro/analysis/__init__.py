@@ -1,8 +1,9 @@
 """Static analysis over mini-JVM programs.
 
-Six coordinated pieces, layered strictly *above* the JVM/compiler
+Seven coordinated pieces, layered strictly *above* the JVM/compiler
 layers (nothing in :mod:`repro.jvm` or :mod:`repro.compiler` imports
-this package):
+this package; the runtime hands the compiler a duck-typed speculation
+object only when the cost model opts in):
 
 * :mod:`repro.analysis.verifier` -- structural well-formedness checking
   with machine-readable :class:`VerifierError` diagnostics;
@@ -18,9 +19,14 @@ this package):
 * :mod:`repro.analysis.static_oracle` -- profile-free inlining policies
   driven purely by the static graphs (the baselines the paper's online
   system is measured against), flat and context-sensitive;
+* :mod:`repro.analysis.dataflow` -- the intraprocedural monotone
+  dataflow framework (forward, over the structured statement tree) and
+  its speculation clients: receiver preexistence, must-available
+  guards for dominance-based elision, and invalidation-cone risk;
 * :mod:`repro.analysis.soundness` -- dynamic containment checking
   (every executed dispatch edge must lie in each tier's target set,
-  context-conditioned for the k-CFA tiers) and static-vs-profile
+  context-conditioned for the k-CFA tiers), the elision-replay check
+  (no elided guard may ever have failed), and static-vs-profile
   attribution of decision-diff flips.
 
 :mod:`repro.analysis.report` bundles all of it behind the
@@ -29,6 +35,13 @@ this package):
 
 from repro.analysis.callgraph import (CHA, PRECISIONS, RTA, CallSite,
                                       StaticCallGraph, build_call_graph)
+from repro.analysis.dataflow import (ACTION_ELIDE, ACTION_GUARD,
+                                     ACTION_REFUSE, ALWAYS_PRE, NOT_PRE,
+                                     AvailableGuardAnalysis, CallFacts,
+                                     ForwardAnalysis, MethodSummary,
+                                     PreexistenceAnalysis,
+                                     SpeculationAnalysis, SpeculationVerdict,
+                                     join_pre, static_speculation_summary)
 from repro.analysis.kcfa import (ContextSensitiveCallGraph, ContextTargets,
                                  KSite, build_kcfa_graph, extend,
                                  strings_compatible, truncate)
@@ -43,10 +56,12 @@ from repro.analysis.report import (ANALYSIS_SCHEMA, ANALYZE_PRECISIONS,
                                    report_ok, write_report)
 from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
                                       ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
+                                      ElisionReport, ElisionViolation,
                                       LatticeSoundnessReport, SoundnessReport,
                                       SoundnessViolation, attribute_flips,
                                       check_containment,
                                       check_context_containment,
+                                      check_elision_soundness,
                                       check_lattice_soundness,
                                       check_soundness,
                                       flatten_context_edges,
@@ -60,26 +75,40 @@ from repro.analysis.verifier import (VERIFIER_CODES, VerificationFailure,
                                      verify_program)
 
 __all__ = [
+    "ACTION_ELIDE",
+    "ACTION_GUARD",
+    "ACTION_REFUSE",
+    "ALWAYS_PRE",
     "ANALYSIS_SCHEMA",
     "ANALYZE_PRECISIONS",
     "ATTR_PROFILE_DECIDED",
     "ATTR_STATIC_DECIDED",
     "ATTR_UNKNOWN_SITE",
+    "AvailableGuardAnalysis",
     "CHA",
+    "CallFacts",
     "CallSite",
     "ContainmentViolation",
     "ContextSensitiveCallGraph",
     "ContextTargets",
     "DEFAULT_PRECISIONS",
+    "ElisionReport",
+    "ElisionViolation",
+    "ForwardAnalysis",
     "KSite",
     "LATTICE_KS",
     "LatticeReport",
     "LatticeSoundnessReport",
+    "MethodSummary",
+    "NOT_PRE",
     "PRECISIONS",
+    "PreexistenceAnalysis",
     "RTA",
     "SiteLatticeRow",
     "SoundnessReport",
     "SoundnessViolation",
+    "SpeculationAnalysis",
+    "SpeculationVerdict",
     "StaticCallGraph",
     "StaticContextOracle",
     "StaticOracle",
@@ -97,10 +126,12 @@ __all__ = [
     "bundle_reports",
     "check_containment",
     "check_context_containment",
+    "check_elision_soundness",
     "check_lattice_soundness",
     "check_soundness",
     "extend",
     "flatten_context_edges",
+    "join_pre",
     "lattice_to_json",
     "observe_context_edges",
     "observe_dispatch_edges",
@@ -109,6 +140,7 @@ __all__ = [
     "render_bundle",
     "render_lattice",
     "report_ok",
+    "static_speculation_summary",
     "strings_compatible",
     "truncate",
     "truncate_context_edges",

@@ -27,7 +27,9 @@ from repro.analysis.callgraph import CHA, RTA, build_call_graph
 from repro.analysis.kcfa import build_kcfa_graph
 from repro.analysis.lattice import (LATTICE_KS, build_lattice_report,
                                     lattice_to_json)
+from repro.analysis.dataflow import static_speculation_summary
 from repro.analysis.soundness import (check_containment,
+                                      check_elision_soundness,
                                       check_lattice_soundness,
                                       observe_context_edges,
                                       observe_dispatch_edges)
@@ -51,7 +53,8 @@ DEFAULT_PRECISIONS = (CHA, RTA)
 def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
                     soundness: bool = True, phase: float = 0.0,
                     precisions: Sequence[str] = DEFAULT_PRECISIONS,
-                    lattice: bool = False, k: int = 2) \
+                    lattice: bool = False, k: int = 2,
+                    speculation: bool = False) \
         -> Dict[str, object]:
     """Full analysis of one program, as a JSON-ready dict.
 
@@ -65,7 +68,10 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
     by their concrete depth (``"2cfa"`` for ``k=2``).  ``lattice=True``
     adds the tiered per-site comparison and widens the soundness check
     to the whole precision chain, reusing a single context-qualified
-    replay for both.
+    replay for both.  ``speculation=True`` adds the speculation-risk
+    section: the static dataflow summary, an elision-replay soundness
+    check (speculation forced on), and the guard-cycle comparison
+    against a speculation-off baseline run.
     """
     verification = verify_program(program)
     payload: Dict[str, object] = {
@@ -136,7 +142,46 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
                 "violations": [dataclasses.asdict(v)
                                for v in report.violations],
             }
+
+    if speculation:
+        payload["speculation"] = _speculation_section(program, costs=costs,
+                                                      phase=phase)
     return payload
+
+
+def _speculation_section(program: Program, costs: CostModel,
+                         phase: float) -> Dict[str, object]:
+    """Static summary + elision replay + off-vs-on guard-cycle delta."""
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    static = static_speculation_summary(program, costs=costs)
+    replay = check_elision_soundness(program, costs=costs, phase=phase)
+    # The baseline pays every guard the speculative run elides; same
+    # fixed seed and phase, so the runs differ only in elision.
+    off_costs = costs.replace(speculation_enabled=False)
+    baseline = AdaptiveRuntime(
+        program, make_policy("cins", costs=off_costs), off_costs,
+        sample_phase=phase).run()
+    saved = (baseline.guard_tests - replay.guard_tests) * costs.guard_test
+    return {
+        "ok": replay.ok,
+        "static": static,
+        "elision_replay": {
+            "ok": replay.ok,
+            "elided_entries": replay.elided_entries,
+            "guard_tests": replay.guard_tests,
+            "guard_misses": replay.guard_misses,
+            "violations": [dataclasses.asdict(v)
+                           for v in replay.violations],
+        },
+        "guard_cycles": {
+            "tests_baseline": baseline.guard_tests,
+            "tests_speculative": replay.guard_tests,
+            "elided_entries": replay.elided_entries,
+            "estimated_cycles_saved": saved,
+        },
+    }
 
 
 def analyze_benchmark(name: str, scale: float = 1.0,
@@ -145,14 +190,16 @@ def analyze_benchmark(name: str, scale: float = 1.0,
                       phase: float = 0.0,
                       precisions: Sequence[str] = DEFAULT_PRECISIONS,
                       lattice: bool = False,
-                      k: int = 2) -> Dict[str, object]:
+                      k: int = 2,
+                      speculation: bool = False) -> Dict[str, object]:
     """Build one Table-1 benchmark (seed-deterministic) and analyze it."""
     from repro.workloads.spec import build_benchmark
 
     generated = build_benchmark(name, scale=scale)
     return analyze_program(generated.program, costs=costs,
                            soundness=soundness, phase=phase,
-                           precisions=precisions, lattice=lattice, k=k)
+                           precisions=precisions, lattice=lattice, k=k,
+                           speculation=speculation)
 
 
 def report_ok(payload: Dict[str, object]) -> bool:
@@ -165,6 +212,9 @@ def report_ok(payload: Dict[str, object]) -> bool:
         return False
     lattice = payload.get("lattice")
     if lattice is not None and not lattice.get("ok", False):
+        return False
+    speculation = payload.get("speculation")
+    if speculation is not None and not speculation.get("ok", False):
         return False
     return True
 
@@ -238,7 +288,34 @@ def render_analysis(payload: Dict[str, object]) -> str:
     soundness = payload.get("soundness")
     if soundness is not None:
         lines.extend(_render_soundness_section(soundness))
+
+    speculation = payload.get("speculation")
+    if speculation is not None:
+        lines.extend(_render_speculation_section(speculation))
     return "\n".join(lines)
+
+
+def _render_speculation_section(spec: Dict[str, object]) -> List[str]:
+    """Summary lines for the speculation-risk payload."""
+    static = spec["static"]
+    cycles = spec["guard_cycles"]
+    replay = spec["elision_replay"]
+    status = ("replay clean" if spec["ok"] else
+              f"{len(replay['violations'])} VIOLATION(S)")
+    lines = [
+        f"  speculation: {static['preexistent_receiver_sites']}"
+        f"/{static['virtual_sites']} preexistent-receiver sites, "
+        f"{static['dominator_available_sites']} dominator-available, "
+        f"max risk {static['max_risk']:.3f}; guard tests "
+        f"{cycles['tests_baseline']} -> {cycles['tests_speculative']} "
+        f"({cycles['elided_entries']} elided entries, "
+        f"~{cycles['estimated_cycles_saved']:.0f} cycles saved); {status}"]
+    for violation in replay["violations"]:
+        lines.append(f"    site {violation['site']} "
+                     f"[{violation['elision_kind']}]: entered "
+                     f"{violation['entered']}, dispatch resolves "
+                     f"{violation['resolved']} ({violation['count']}x)")
+    return lines
 
 
 def _render_lattice_section(lattice: Dict[str, object]) -> List[str]:

@@ -166,6 +166,105 @@ def check_soundness(program: Program,
     return check_containment(graph, observed)
 
 
+# -- guard-elision replay ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElisionViolation:
+    """One elided-guard entry whose compiled-out test would have failed.
+
+    The machine enters the inlined body behind an elided guard without
+    testing anything; the elision is sound only if full dispatch would
+    have picked the same target every time.  ``entered != resolved``
+    means the speculation analysis let a wrong body run.
+    """
+
+    site: int
+    elision_kind: str            #: "preexist" or "dominated"
+    entered: str                 #: target whose inlined body was entered
+    resolved: str                #: what full dispatch would have called
+    count: int = 1               #: dynamic occurrences on this run
+
+    @property
+    def code(self) -> str:
+        return f"unsound-elision-{self.elision_kind}"
+
+    def describe(self) -> str:
+        return (f"[{self.code}] site {self.site}: entered {self.entered} "
+                f"but dispatch resolves {self.resolved} ({self.count}x)")
+
+
+@dataclass(frozen=True)
+class ElisionReport:
+    """Outcome of one fixed-seed replay with guard elision enabled."""
+
+    program_name: str
+    elided_entries: int           #: inline entries through an elided guard
+    guard_tests: int              #: guard tests still executed
+    guard_misses: int             #: guarded sites where every guard failed
+    total_cycles: float
+    violations: Tuple[ElisionViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        head = (f"elision replay {self.program_name}: "
+                f"{self.elided_entries} elided entries, "
+                f"{self.guard_tests} guard tests: ")
+        if self.ok:
+            return head + "no elided guard would have failed"
+        lines = [head + f"{len(self.violations)} VIOLATION(S)"]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_elision_soundness(program: Program, policy=None,
+                            costs: CostModel = DEFAULT_COSTS,
+                            phase: float = 0.0) -> ElisionReport:
+    """Replay with speculation enabled; assert no elided guard would fire.
+
+    Forces ``speculation_enabled`` on (the elision machinery is opt-in
+    everywhere else), runs the fixed-seed adaptive system with the
+    machine's zero-cost ``elision_observer`` hook attached, and checks
+    that every entry through an elided guard entered exactly the target
+    a full dispatch would have resolved.  For preexistence elisions this
+    certifies the invalidation cone did its job; for dominance elisions
+    it certifies the acceptance-set containment argument.
+    """
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    if not costs.speculation_enabled:
+        costs = costs.replace(speculation_enabled=True)
+    if policy is None:
+        policy = make_policy("cins", costs=costs)
+    runtime = AdaptiveRuntime(program, policy, costs, sample_phase=phase)
+    mismatches: Dict[Tuple[int, str, str, str], int] = {}
+
+    def observer(site: int, kind: str, entered: str, resolved: str) -> None:
+        if entered != resolved:
+            key = (site, kind, entered, resolved)
+            mismatches[key] = mismatches.get(key, 0) + 1
+
+    runtime.machine.elision_observer = observer
+    result = runtime.run()
+    stats = runtime.machine.stats
+    violations = tuple(
+        ElisionViolation(site=site, elision_kind=kind, entered=entered,
+                         resolved=resolved, count=count)
+        for (site, kind, entered, resolved), count
+        in sorted(mismatches.items()))
+    return ElisionReport(
+        program_name=program.name,
+        elided_entries=stats.elided_entries,
+        guard_tests=stats.guard_tests,
+        guard_misses=stats.guard_misses,
+        total_cycles=result.total_cycles,
+        violations=violations)
+
+
 # -- context-conditioned observation and the full precision chain --------------
 
 #: (site, dynamic call string) -> executed target -> dispatch count.

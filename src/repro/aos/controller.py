@@ -60,7 +60,7 @@ class Controller:
                  state: AOSState, code_cache: CodeCache,
                  database: AOSDatabase, costs: CostModel,
                  telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE,
-                 oracle_factory=None):
+                 oracle_factory=None, speculation=None):
         self._program = program
         self._hierarchy = hierarchy
         self._state = state
@@ -69,6 +69,10 @@ class Controller:
         self._costs = costs
         self._telemetry = telemetry
         self._provenance = provenance
+        #: Optional speculation analysis handed to every *stock* oracle.
+        #: Factory-made oracles (static policies) keep their fixed keyword
+        #: contract and never see it.
+        self._speculation = speculation
         #: Optional hook replacing the stock :class:`InlineOracle` for
         #: every compilation plan.  Called with the same keyword wiring
         #: the stock oracle receives (refusal/CHA-dependency sinks,
@@ -209,7 +213,8 @@ class Controller:
                 self._program, self._hierarchy, self._costs, state.rules,
                 on_refusal=database.record_refusal, dcg=state.dcg,
                 on_cha_dependency=database.record_cha_dependency,
-                telemetry=self._telemetry, provenance=self._provenance)
+                telemetry=self._telemetry, provenance=self._provenance,
+                speculation=self._speculation)
         plan = CompilationPlan(
             method_id=method_id,
             oracle=oracle,
@@ -228,9 +233,10 @@ class CompilationThread:
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
                  code_cache: CodeCache, database: AOSDatabase,
                  costs: CostModel, telemetry=NULL_RECORDER,
-                 provenance=NULL_PROVENANCE):
+                 provenance=NULL_PROVENANCE, speculation=None):
         self._compiler = OptCompiler(program, hierarchy, costs,
-                                     telemetry=telemetry)
+                                     telemetry=telemetry,
+                                     speculation=speculation)
         self._program = program
         self._code_cache = code_cache
         self._database = database
@@ -266,7 +272,8 @@ class CompilationThread:
                 inlined_bytecodes=compiled.inlined_bytecodes,
                 code_bytes=compiled.code_bytes,
                 inline_nodes=compiled.inline_node_count(),
-                guards=compiled.guard_count())
+                guards=compiled.guard_count(),
+                guards_elided=compiled.elided_guard_count())
             telemetry.observe("opt_compile.cycles", compiled.compile_cycles)
             telemetry.observe("opt_compile.inlined_bytecodes",
                               compiled.inlined_bytecodes)

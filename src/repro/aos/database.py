@@ -31,10 +31,12 @@ class AOSDatabase:
         self._refusals: Set[Tuple[str, int, str]] = set()
         self._refusal_reasons: Dict[Tuple[str, int, str], str] = {}
         self.compilations: List[CompilationEvent] = []
-        # CHA dependencies: root method id -> {selector: bound target id}.
-        # Compiled code that devirtualized a call via loaded-world CHA is
-        # only valid while the selector still has that unique target.
-        self._cha_dependencies: Dict[str, Dict[str, str]] = {}
+        # CHA dependencies: root method id -> {selector: allowed target
+        # id(s)} -- a plain string for the loaded-sole case, a frozenset
+        # for an exhaustive guard set.  Compiled code that speculated on
+        # loaded-world CHA is only valid while every loaded target of
+        # the selector stays within the allowed set.
+        self._cha_dependencies: Dict[str, Dict[str, object]] = {}
         self.invalidations: List[Tuple[str, str, float]] = []
 
     # -- refusals ---------------------------------------------------------------
@@ -59,10 +61,26 @@ class AOSDatabase:
     # -- CHA dependencies ---------------------------------------------------------
 
     def record_cha_dependency(self, root_id: str, selector: str,
-                              target_id: str) -> None:
-        self._cha_dependencies.setdefault(root_id, {})[selector] = target_id
+                              target_id) -> None:
+        """Record that ``root_id``'s code assumes ``selector`` only
+        dispatches into ``target_id`` -- a sole target id, or an
+        iterable of ids for a guard set proved exhaustive over the
+        loaded world.  Re-recording the same selector intersects the
+        allowed sets: every recorded assumption must keep holding.
+        """
+        allowed = (frozenset((target_id,)) if isinstance(target_id, str)
+                   else frozenset(target_id))
+        per_root = self._cha_dependencies.setdefault(root_id, {})
+        existing = per_root.get(selector)
+        if existing is not None:
+            previous = (frozenset((existing,))
+                        if isinstance(existing, str) else existing)
+            allowed &= previous
+        # Singletons stay plain strings (the common loaded-sole case).
+        per_root[selector] = (next(iter(allowed)) if len(allowed) == 1
+                              else allowed)
 
-    def cha_dependencies(self) -> Dict[str, Dict[str, str]]:
+    def cha_dependencies(self) -> Dict[str, Dict[str, object]]:
         return {root: dict(deps)
                 for root, deps in self._cha_dependencies.items()}
 

@@ -95,6 +95,10 @@ class RunResult:
     #: Whether this runtime was bootstrapped from fleet-aggregated
     #: profiles before executing.
     warm_started: bool = False
+    #: Inline entries through an elided guard (speculation pass); zero
+    #: unless ``costs.speculation_enabled`` (default keeps old cached
+    #: cells loadable).
+    elided_entries: int = 0
 
     @property
     def app_cycles(self) -> float:
@@ -146,6 +150,15 @@ class AdaptiveRuntime:
         self.ai_organizer = AIOrganizer(self.state, costs)
         self.hot_methods_organizer = HotMethodsOrganizer(self.state, costs)
         self.decay_organizer = DecayOrganizer(self.state, costs)
+        # Speculation-risk static analysis (guard elision) is strictly
+        # opt-in via the cost model; the import is local and gated so the
+        # default configuration never touches repro.analysis (layering:
+        # aos may depend on analysis, never the reverse).
+        self.speculation = None
+        if costs.speculation_enabled:
+            from repro.analysis.dataflow import SpeculationAnalysis
+            self.speculation = SpeculationAnalysis(program, self.hierarchy,
+                                                   costs)
         # A policy may supply its own per-compilation oracle (e.g. the
         # static-oracle baseline) via a ``make_oracle`` hook; the stock
         # policies have none and get the profile-directed InlineOracle.
@@ -154,12 +167,14 @@ class AdaptiveRuntime:
                                      telemetry=self.telemetry,
                                      provenance=self.provenance,
                                      oracle_factory=getattr(
-                                         policy, "make_oracle", None))
+                                         policy, "make_oracle", None),
+                                     speculation=self.speculation)
         self.missing_edge_organizer = MissingEdgeOrganizer(
             self.state, self.code_cache, self.database, costs)
         self.compilation_thread = CompilationThread(
             program, self.hierarchy, self.code_cache, self.database, costs,
-            telemetry=self.telemetry, provenance=self.provenance)
+            telemetry=self.telemetry, provenance=self.provenance,
+            speculation=self.speculation)
 
         self.machine = Machine(program, self.hierarchy, self.code_cache,
                                costs, self.accounting, self._tick)
@@ -307,8 +322,10 @@ class AdaptiveRuntime:
         dependencies = self.database.cha_dependencies()
         for root_id, per_selector in dependencies.items():
             for selector, target_id in per_selector.items():
+                allowed = (frozenset((target_id,))
+                           if isinstance(target_id, str) else target_id)
                 targets = self.hierarchy.loaded_targets(selector)
-                if targets and targets != frozenset((target_id,)):
+                if targets and not targets <= allowed:
                     # Only a *successful* invalidation may drop the
                     # root's dependency records: when there is no
                     # installed code to discard (e.g. the compile is
@@ -385,6 +402,7 @@ class AdaptiveRuntime:
             calls=machine.stats.calls,
             osr_transfers=machine.stats.osr_transfers,
             invalidations=self.database.invalidation_count,
+            elided_entries=machine.stats.elided_entries,
             progress_points=(self.progress.summary()
                              if self.progress is not None else None),
             first_rule_clock=self.first_rule_clock,

@@ -61,7 +61,12 @@ Commands
     ``CHA ⊇ RTA ⊇ 0CFA ⊇ 1CFA ⊇ 2CFA ⊇ observed``, the sites static
     context rescues from RTA polymorphism, and per-tier prediction
     scores against the fixed-seed dynamic CCT -- and widens the
-    soundness check to every tier of the chain.
+    soundness check to every tier of the chain.  ``--speculation`` adds
+    the speculation-risk section: the static dataflow summary
+    (receiver preexistence, dominator availability, invalidation-cone
+    risk), an elision-replay run asserting no elided guard would ever
+    have failed, and the guard-cycle delta against a speculation-off
+    baseline.
 """
 
 from __future__ import annotations
@@ -319,6 +324,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(per-site sizes CHA ⊇ RTA ⊇ 0CFA ⊇ kCFA ⊇ "
                               "observed, context-rescued sites, per-tier "
                               "precision scores vs the dynamic CCT)")
+    analyze.add_argument("--speculation", action="store_true",
+                         help="embed the speculation-risk section: static "
+                              "dataflow summary (preexistence, dominator "
+                              "availability, invalidation-cone risk), the "
+                              "elision-replay soundness check, and guard "
+                              "cycles vs a speculation-off baseline")
     analyze.add_argument("-o", "--out", default=None,
                          help="also write the versioned JSON report here")
     return parser
@@ -626,6 +637,7 @@ def _cmd_analyze(args) -> int:
     reports = [analyze_benchmark(name, scale=args.scale,
                                  soundness=args.soundness, phase=args.phase,
                                  lattice=args.lattice, k=args.k,
+                                 speculation=args.speculation,
                                  **({"precisions": precisions}
                                     if precisions else {}))
                for name in benchmarks]

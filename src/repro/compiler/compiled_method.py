@@ -21,6 +21,11 @@ from repro.jvm.program import MethodDef
 DIRECT = "direct"      # statically bound, no guard needed
 GUARDED = "guarded"    # class/method-test guards with virtual fallback
 
+#: Guard-elision kinds (``GuardOption.elided``).
+ELIDE_PREEXIST = "preexist"    # receiver preexists; invalidation protects
+ELIDE_DOMINATED = "dominated"  # a dominating guard's result is reused
+ELIDE_EXHAUSTIVE = "exhaustive"  # earlier guards missing implies this hits
+
 
 class InlineNode:
     """One method body within an inline tree.
@@ -64,19 +69,42 @@ class GuardOption:
     guarded expansions the interpreter performs a method test: it resolves
     the receiver's dynamic class and compares the result against
     ``target``.
+
+    ``elided`` marks a guarded option whose test was removed by the
+    speculation pass: :data:`ELIDE_PREEXIST` options enter their inline
+    body unconditionally (CHA invalidation protects them),
+    :data:`ELIDE_EXHAUSTIVE` options (always last in their decision)
+    enter unconditionally because the decision's acceptance sets cover
+    every class that can reach the site, and
+    :data:`ELIDE_DOMINATED` options reuse a dominating guard's result --
+    ``elided_on`` names that guard as a ``(selector, target)`` pair the
+    interpreter re-evaluates at zero guard-test cost.
     """
 
-    __slots__ = ("target", "node", "guard_class")
+    __slots__ = ("target", "node", "guard_class", "elided", "elided_on")
 
     def __init__(self, target: MethodDef, node: InlineNode,
-                 guard_class: Optional[str] = None):
+                 guard_class: Optional[str] = None,
+                 elided: Optional[str] = None,
+                 elided_on: Optional[Tuple[str, MethodDef]] = None):
         self.target = target
         self.node = node
         self.guard_class = guard_class
+        self.elided = elided
+        self.elided_on = elided_on
+
+    def elide(self, kind: str,
+              on: Optional[Tuple[str, MethodDef]] = None) -> None:
+        """Mark this option's guard as elided (``kind`` names why)."""
+        if kind not in (ELIDE_PREEXIST, ELIDE_DOMINATED, ELIDE_EXHAUSTIVE):
+            raise ValueError(f"bad elision kind {kind!r}")
+        self.elided = kind
+        self.elided_on = on
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         g = f" guard={self.guard_class}" if self.guard_class else ""
-        return f"<GuardOption {self.target.id}{g}>"
+        e = f" elided={self.elided}" if self.elided else ""
+        return f"<GuardOption {self.target.id}{g}{e}>"
 
 
 class InlineDecision:
@@ -148,13 +176,43 @@ class CompiledMethod:
         return sum(1 for _node in self.root.walk())
 
     def guard_count(self) -> int:
-        """Total guard tests compiled in (one per guarded option)."""
+        """Guard tests actually compiled in (elided options emit none)."""
         guards = 0
         for node in self.root.walk():
             for decision in node.decisions.values():
                 if decision.kind == GUARDED:
-                    guards += len(decision.options)
+                    guards += sum(1 for option in decision.options
+                                  if option.elided is None)
         return guards
+
+    def elided_guard_count(self) -> int:
+        """Guarded options whose test the speculation pass removed."""
+        elided = 0
+        for node in self.root.walk():
+            for decision in node.decisions.values():
+                if decision.kind == GUARDED:
+                    elided += sum(1 for option in decision.options
+                                  if option.elided is not None)
+        return elided
+
+    def elisions(self) -> List[Tuple[str, int, str, str]]:
+        """Inline-map records of every elided guard.
+
+        Each entry is ``(caller_id, site, elision_kind, target_id)`` --
+        the same shape as :meth:`inlined_edges` plus the elision kind, so
+        stack reconstruction and provenance tooling can see which guards
+        were never emitted.
+        """
+        records = []
+        for node in self.root.walk():
+            for site, decision in node.decisions.items():
+                if decision.kind != GUARDED:
+                    continue
+                for option in decision.options:
+                    if option.elided is not None:
+                        records.append((node.method.id, site,
+                                        option.elided, option.target.id))
+        return records
 
     def inlined_edges(self) -> List[Tuple[str, int, str]]:
         """All (caller_id, site, callee_id) edges expanded in this code."""

@@ -6,15 +6,23 @@ call site (passing the compilation context chain needed for Equation-3
 matching), expands approved callees recursively, and emits a
 :class:`~repro.compiler.compiled_method.CompiledMethod` whose compile time
 and machine-code size scale with the total bytecodes compiled.
+
+When a speculation analysis is attached, two guard-elision mechanisms
+run: preexistent-receiver elisions arrive from the oracle per decision,
+and a dominance post-pass elides guards whose outcome is implied by a
+same-receiver guard that executed on every path to the site.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
-from repro.compiler.compiled_method import (CompiledMethod, DIRECT, GUARDED,
-                                            GuardOption, InlineDecision,
-                                            InlineNode)
+from repro.compiler.compiled_method import (CompiledMethod, DIRECT,
+                                            ELIDE_DOMINATED,
+                                            ELIDE_EXHAUSTIVE, ELIDE_PREEXIST,
+                                            GUARDED, GuardOption,
+                                            InlineDecision, InlineNode)
+from repro.compiler.guards import classes_for_target
 from repro.compiler.oracle import InlineOracle
 from repro.compiler.size_estimator import (count_constant_args,
                                            estimate_inlined_bytecodes)
@@ -44,11 +52,16 @@ class OptCompiler:
     """Simulated optimizing compiler for one program."""
 
     def __init__(self, program: Program, hierarchy: ClassHierarchy,
-                 costs: CostModel, telemetry=NULL_RECORDER):
+                 costs: CostModel, telemetry=NULL_RECORDER,
+                 speculation=None):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
         self._telemetry = telemetry
+        #: Optional :class:`repro.analysis.dataflow.SpeculationAnalysis`.
+        #: ``None`` (the default) disables both elision mechanisms and
+        #: reproduces pre-speculation output byte for byte.
+        self._speculation = speculation
 
     def compile(self, method: MethodDef, oracle: InlineOracle,
                 version: int = 1,
@@ -59,6 +72,8 @@ class OptCompiler:
         total_size = [method.bytecodes]
         sites = [0, 0]  # [considered, inlined] across the whole expansion
         self._expand(root, (), total_size, method, oracle, sites)
+        if self._speculation is not None:
+            self._elide_dominated(root)
 
         self._telemetry.count("opt_compiler.compiles")
         self._telemetry.count("opt_compiler.sites_considered", sites[0])
@@ -86,15 +101,80 @@ class OptCompiler:
             sites[1] += 1
 
             const_args = count_constant_args(stmt.args)
+            elided = (ELIDE_PREEXIST
+                      if decision.guarded and decision.guard_elided
+                      else None)
             options = []
-            for target in decision.targets:
+            for index, target in enumerate(decision.targets):
                 child = InlineNode(target, depth=node.depth + 1)
                 total_size[0] += estimate_inlined_bytecodes(target, const_args)
+                option_elided = elided
+                if (decision.guard_elided_last and option_elided is None
+                        and index == len(decision.targets) - 1):
+                    option_elided = ELIDE_EXHAUSTIVE
                 options.append(GuardOption(
                     target, child,
-                    guard_class=target.klass if decision.guarded else None))
+                    guard_class=target.klass if decision.guarded else None,
+                    elided=option_elided))
                 self._expand(child, comp_context, total_size, root, oracle,
                              sites)
 
             kind = GUARDED if decision.guarded else DIRECT
             node.decisions[stmt.site] = InlineDecision(kind, options)
+
+    # -- dominance-based redundant-guard elimination ----------------------------
+
+    def _elide_dominated(self, root: InlineNode) -> None:
+        """Elide guards implied by a same-receiver dominating guard.
+
+        Within each inline-tree body, a single-target guarded site B may
+        drop its own test when some other single-target guarded site A
+        (with an un-elided, still-compiled guard) on the *same receiver
+        value* executes on every path to B -- must-availability from the
+        dataflow pass -- and B's acceptance set contains A's: A's guard
+        passing implies B's would too.  The compiled code for B reuses
+        A's already-computed outcome (recorded as ``elided_on``), paying
+        no guard test; when A's guard missed, B falls through to its
+        dispatch fallback exactly as a miss would.
+        """
+        spec = self._speculation
+        for node in root.walk():
+            if not node.decisions:
+                continue
+            summary = spec.summary(node.method)
+            for site in sorted(node.decisions):
+                decision = node.decisions[site]
+                if decision.kind != GUARDED or len(decision.options) != 1:
+                    continue
+                option = decision.options[0]
+                if option.elided is not None:
+                    continue
+                facts = summary.call_facts.get(site)
+                tag = summary.receiver_tags.get(site)
+                if facts is None or facts.selector is None or tag is None:
+                    continue
+                accept_here: Optional[set] = None
+                for dom_site, dom_selector, dom_tag in \
+                        summary.available.get(site, ()):
+                    if dom_site == site or dom_tag != tag:
+                        continue
+                    dominator = node.decisions.get(dom_site)
+                    if dominator is None or dominator.kind != GUARDED \
+                            or len(dominator.options) != 1:
+                        continue
+                    dom_option = dominator.options[0]
+                    if dom_option.elided is not None:
+                        continue
+                    accept_dom = classes_for_target(
+                        self._hierarchy, dom_selector, dom_option.target)
+                    if not accept_dom:
+                        continue
+                    if accept_here is None:
+                        accept_here = classes_for_target(
+                            self._hierarchy, facts.selector, option.target)
+                    if accept_dom <= accept_here:
+                        option.elide(ELIDE_DOMINATED,
+                                     (dom_selector, dom_option.target))
+                        self._telemetry.count(
+                            "opt_compiler.guards_elided_dominated")
+                        break

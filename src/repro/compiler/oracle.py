@@ -105,14 +105,17 @@ class Decision:
     """
 
     __slots__ = ("inline", "guarded", "targets", "reason", "size_class",
-                 "estimate", "coverage", "weight", "guard_kind")
+                 "estimate", "coverage", "weight", "guard_kind",
+                 "guard_elided", "guard_elided_last")
 
     def __init__(self, inline: bool, guarded: bool = False,
                  targets: Sequence[MethodDef] = (), reason: str = "", *,
                  size_class=None, estimate: Optional[int] = None,
                  coverage: Optional[float] = None,
                  weight: Optional[float] = None,
-                 guard_kind: Optional[str] = None):
+                 guard_kind: Optional[str] = None,
+                 guard_elided: bool = False,
+                 guard_elided_last: bool = False):
         self.inline = inline
         self.guarded = guarded
         self.targets = tuple(targets)
@@ -122,6 +125,16 @@ class Decision:
         self.coverage = coverage
         self.weight = weight
         self.guard_kind = guard_kind
+        #: True when the verdict is guarded but the speculation pass
+        #: proved the guard test unnecessary (preexistent receiver): the
+        #: compiler emits the inline with an elided guard.  The verdict
+        #: string stays "guarded" -- elision changes cost, not outcome.
+        self.guard_elided = guard_elided
+        #: True when the *last* guarded option's test is exhaustive: the
+        #: chosen targets' acceptance sets cover every class that can
+        #: reach the site, so once every earlier guard missed the final
+        #: test cannot fail and is compiled out.
+        self.guard_elided_last = guard_elided_last
 
     @property
     def verdict(self) -> str:
@@ -170,7 +183,8 @@ class InlineOracle:
                  dcg=None,
                  on_cha_dependency: Optional[DependencySink] = None,
                  telemetry=NULL_RECORDER,
-                 provenance=NULL_PROVENANCE):
+                 provenance=NULL_PROVENANCE,
+                 speculation=None):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
@@ -178,6 +192,11 @@ class InlineOracle:
         self._on_cha_dependency = on_cha_dependency
         self._telemetry = telemetry
         self._provenance = provenance
+        #: Optional :class:`repro.analysis.dataflow.SpeculationAnalysis`
+        #: (duck-typed: anything with ``speculate``).  ``None`` -- the
+        #: default, and the only configuration subclass oracles use --
+        #: reproduces pre-speculation behaviour exactly.
+        self._speculation = speculation
         #: Optional read-only view of the dynamic call graph, used for the
         #: guard-coverage (receiver-skew) test.  ``None`` disables the test
         #: (useful for unit tests of the pure rule logic).
@@ -372,6 +391,31 @@ class InlineOracle:
                                             loaded_sole.id)
                 decision.guard_kind = GUARD_PREEXISTENCE
                 return decision
+            if self._speculation is not None:
+                verdict = self._speculation.speculate(stmt, comp_context,
+                                                      loaded_sole)
+                if verdict.action == "refuse":
+                    # The assumption's invalidation cone carries too much
+                    # predicted churn: compiling it is near-certain waste.
+                    return Decision.no(ReasonCode.SPECULATION_RISK,
+                                       size_class=decision.size_class,
+                                       estimate=decision.estimate)
+                if verdict.action == "elide":
+                    # The dataflow analysis proved the receiver preexists
+                    # the root activation even through the inline chain,
+                    # so invalidation alone protects the inline; the
+                    # guard is compiled out.  The verdict stays guarded
+                    # (only cost changes), but the dependency must be
+                    # recorded exactly as for the depth-0 case above.
+                    if self._on_cha_dependency is not None:
+                        self._on_cha_dependency(root.id, stmt.selector,
+                                                loaded_sole.id)
+                    return Decision.guarded_inline(
+                        [loaded_sole],
+                        reason=ReasonCode.GUARD_ELIDED_PREEXIST,
+                        size_class=decision.size_class,
+                        estimate=decision.estimate, weight=decision.weight,
+                        guard_kind=GUARD_PREEXISTENCE, guard_elided=True)
             return Decision.guarded_inline(
                 [loaded_sole], reason=decision.reason,
                 size_class=decision.size_class, estimate=decision.estimate,
@@ -425,11 +469,32 @@ class InlineOracle:
         reason = self._profile_reason(
             ReasonCode.PROFILE, caller_id, site, comp_context,
             {t.id for t, _w in survivors})
+        targets = [t for t, _w in survivors]
+        elided_last = False
+        if self._speculation is not None and len(targets) >= 2:
+            verdict = self._speculation.speculate_exhaustive(
+                stmt, comp_context, targets)
+            if verdict.action == "elide":
+                # The chosen targets' acceptance sets cover every class
+                # that can dispatch here, so after the earlier guards
+                # miss the last test cannot fail: compile it out.  When
+                # coverage holds only over the *loaded* world (nonempty
+                # cone) the elision additionally leans on receiver
+                # preexistence, so record the dependency -- a class load
+                # resolving outside the chosen set invalidates the code
+                # -- and surface the reliance in the reason code.
+                elided_last = True
+                if verdict.cone_size:
+                    if self._on_cha_dependency is not None:
+                        self._on_cha_dependency(
+                            root.id, stmt.selector,
+                            frozenset(t.id for t in targets))
+                    reason = ReasonCode.GUARD_ELIDED_PREEXIST
         return Decision.guarded_inline(
-            [t for t, _w in survivors], reason=reason, coverage=coverage,
+            targets, reason=reason, coverage=coverage,
             estimate=total_estimate,
             weight=sum(w for _t, w in survivors),
-            guard_kind=GUARD_CLASS_TEST)
+            guard_kind=GUARD_CLASS_TEST, guard_elided_last=elided_last)
 
     # -- guard coverage (receiver skew) ----------------------------------------
 

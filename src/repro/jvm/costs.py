@@ -150,6 +150,29 @@ DECAY_RATE = 0.8
 
 
 # ---------------------------------------------------------------------------
+# Speculation-risk static analysis (guard elision)
+# ---------------------------------------------------------------------------
+
+#: Whether the compiler runs the speculation dataflow pass (receiver
+#: preexistence, dominance-based guard elision, invalidation-cone risk).
+#: Off by default: elision is opt-in, never ambient, so default runs stay
+#: byte-identical to the golden decision logs.
+SPECULATION_ENABLED = False
+
+#: A preexistent-receiver guard is elided only when the assumption's
+#: churn-weighted invalidation risk is at or below this threshold.
+#: Risk is the assumption's share of predicted future class-loading
+#: churn, normalized to [0, 1].
+SPECULATION_ELIDE_MAX_RISK = 0.9
+
+#: Above this risk the speculative inline is refused outright (reason
+#: ``speculation-risk``): compiling code that the next class load will
+#: invalidate is pure waste.  Infinite by default so enabling the pass
+#: flips no verdicts; sweeps lower it to explore refusal.
+SPECULATION_REFUSE_MIN_RISK = float("inf")
+
+
+# ---------------------------------------------------------------------------
 # Adaptive-inlining policy constants
 # ---------------------------------------------------------------------------
 
@@ -266,6 +289,10 @@ class CostModel:
     osr_enabled: bool = True
     osr_backedge_threshold: int = OSR_BACKEDGE_THRESHOLD
     osr_poll_period: int = OSR_POLL_PERIOD
+
+    speculation_enabled: bool = SPECULATION_ENABLED
+    speculation_elide_max_risk: float = SPECULATION_ELIDE_MAX_RISK
+    speculation_refuse_min_risk: float = SPECULATION_REFUSE_MIN_RISK
 
     @property
     def estimated_opt_speedup(self) -> float:

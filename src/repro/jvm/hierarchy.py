@@ -31,6 +31,11 @@ class ClassHierarchy:
     def __init__(self, program: Program):
         self._program = program
         self._loaded: set = set()
+        #: Monotone counter bumped on every class load.  Caches keyed on
+        #: loaded-world queries (guard acceptance sets, invalidation
+        #: cones) include the generation in their key, so a class load
+        #: invalidates them without any explicit notification.
+        self.generation = 0
         self._loaded_targets_cache: Dict[str, frozenset] = {}
         self._resolution_cache: Dict[tuple, MethodDef] = {}
         self._subclasses: Dict[str, Set[str]] = {name: {name}
@@ -103,6 +108,7 @@ class ClassHierarchy:
             raise ProgramError(f"loading unknown class {class_name!r}")
         self._loaded.add(class_name)
         self._loaded_targets_cache.clear()
+        self.generation += 1
         return True
 
     def is_loaded(self, class_name: str) -> bool:

@@ -26,7 +26,8 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.aos.cost_accounting import APP, COMPILATION, CostAccounting
 from repro.compiler.code_cache import CodeCache
-from repro.compiler.compiled_method import GUARDED, InlineNode
+from repro.compiler.compiled_method import (ELIDE_EXHAUSTIVE, ELIDE_PREEXIST,
+                                            GUARDED, InlineNode)
 from repro.jvm.costs import CostModel
 from repro.jvm.errors import ExecutionError
 from repro.jvm.frames import Frame
@@ -51,7 +52,7 @@ class MachineStats:
 
     __slots__ = ("calls", "virtual_calls", "inline_entries", "guard_tests",
                  "guard_misses", "dispatches", "work_cycles",
-                 "osr_transfers")
+                 "osr_transfers", "elided_entries")
 
     def __init__(self) -> None:
         self.calls = 0            # out-of-line invocations
@@ -62,6 +63,7 @@ class MachineStats:
         self.dispatches = 0       # full virtual dispatches paid
         self.work_cycles = 0      # raw (unscaled) work units executed
         self.osr_transfers = 0    # loops transferred onto optimized code
+        self.elided_entries = 0   # inline entries through an elided guard
 
 
 class Machine:
@@ -120,6 +122,14 @@ class Machine:
         #: so tracked and untracked runs are cycle-identical.
         self.progress_loops: dict = {}
         self.progress_observer: Optional[Callable[[str], None]] = None
+        #: Pure-instrumentation hook fired once per inline entry through
+        #: an *elided* guard with ``(site, elision_kind, entered_target_id,
+        #: resolved_target_id)``.  Same contract as ``dispatch_observer``
+        #: (no cycles, no mutation); the elision-replay soundness checker
+        #: asserts ``entered == resolved`` for every event -- i.e. no
+        #: elided guard would ever have failed.
+        self.elision_observer: Optional[
+            Callable[[int, str, str, str], None]] = None
 
     # -- cost charging -----------------------------------------------------
 
@@ -355,11 +365,49 @@ class Machine:
                 if observer is not None:
                     observer(stmt.site, resolved.id)
                 for option in decision.options:
-                    self.stats.guard_tests += 1
-                    self._charge_app(costs.guard_test * mult)
-                    if option.target is resolved:
+                    elided = option.elided
+                    if elided is None:
+                        self.stats.guard_tests += 1
+                        self._charge_app(costs.guard_test * mult)
+                        if option.target is resolved:
+                            return self._enter_inlined(
+                                resolved, call_args, stmt.site, option.node)
+                    elif elided in (ELIDE_PREEXIST, ELIDE_EXHAUSTIVE):
+                        # Guard compiled out: for "preexist" invalidation
+                        # protects the entry; for "exhaustive" (always
+                        # the last option) every earlier guard missing
+                        # implies this one hits.  Either way the compiled
+                        # code jumps straight into the inlined body at
+                        # zero cost.  Entering ``option.target`` (not
+                        # ``resolved``) is the point: if the argument
+                        # were wrong the wrong body would run, which is
+                        # what the elision-replay checker detects.
+                        self.stats.elided_entries += 1
+                        if self.elision_observer is not None:
+                            self.elision_observer(stmt.site, elided,
+                                                  option.target.id,
+                                                  resolved.id)
                         return self._enter_inlined(
-                            resolved, call_args, stmt.site, option.node)
+                            option.target, call_args, stmt.site, option.node)
+                    else:  # "dominated": reuse the dominating guard's result
+                        dom_selector, dom_target = option.elided_on
+                        if self.hierarchy.resolve(
+                                receiver.klass, dom_selector) is dom_target:
+                            # The dominating guard passed, which implies
+                            # this guard would have too (acceptance-set
+                            # containment); no test is charged because
+                            # the compiled code branches on the already-
+                            # computed outcome.
+                            self.stats.elided_entries += 1
+                            if self.elision_observer is not None:
+                                self.elision_observer(stmt.site, elided,
+                                                      option.target.id,
+                                                      resolved.id)
+                            return self._enter_inlined(
+                                option.target, call_args, stmt.site,
+                                option.node)
+                        # Dominating guard missed: treat as a miss here
+                        # too and continue to the next option / fallback.
                 # Every guard failed: fall back to full dispatch.
                 self.stats.guard_misses += 1
                 self.stats.dispatches += 1

@@ -58,6 +58,12 @@ class ReasonCode(enum.Enum):
     #: reason only while every applicable rule at the site has fleet
     #: origin, so warm-start decisions stay traceable end to end.
     FLEET_WARM = "fleet-warm"
+    #: Guarded loaded-world CHA inline whose method-test guard was
+    #: *elided*: the speculation dataflow analysis proved the receiver
+    #: preexists the compilation (Detlefs & Agesen), so invalidation
+    #: alone protects the inline and the guard test is never emitted.
+    #: The verdict stays ``guarded`` -- only the guard's cost changes.
+    GUARD_ELIDED_PREEXIST = "guard-elided-preexist"
 
     # -- refusals -------------------------------------------------------------
     #: Callee is the compilation root or already on the inline chain.
@@ -87,6 +93,11 @@ class ReasonCode(enum.Enum):
     #: Static-context-oracle only: even conditioned on the compilation
     #: context, k-CFA still sees multiple targets at the site.
     STATIC_CTX_POLY = "static-ctx-poly"
+    #: Speculation-risk analysis only: the assumption's invalidation
+    #: cone carries too much predicted class-loading churn, so the
+    #: speculative inline is refused rather than compiled and soon
+    #: invalidated (``speculation_refuse_min_risk`` knob).
+    SPECULATION_RISK = "speculation-risk"
 
 
 #: Every legal reason string, for validation and for the DESIGN.md table.
@@ -97,7 +108,7 @@ INLINE_REASONS: FrozenSet[str] = frozenset((
     ReasonCode.TINY.value, ReasonCode.SMALL.value, ReasonCode.SMALL_HOT.value,
     ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value,
     ReasonCode.STATIC_HOT.value, ReasonCode.STATIC_CTX_MONO.value,
-    ReasonCode.FLEET_WARM.value))
+    ReasonCode.FLEET_WARM.value, ReasonCode.GUARD_ELIDED_PREEXIST.value))
 
 #: Reason codes that accompany a *refused* verdict.
 REFUSAL_REASONS: FrozenSet[str] = REASON_CODES - INLINE_REASONS

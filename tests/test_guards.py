@@ -1,9 +1,12 @@
 """Unit tests for guard synthesis helpers."""
 
+import math
+
 import pytest
 
 from repro.compiler.compiled_method import InlineNode
-from repro.compiler.guards import (build_guard_options, classes_for_target,
+from repro.compiler.guards import (accept_cache_info, build_guard_options,
+                                   classes_for_target, clear_accept_cache,
                                    order_guard_targets)
 from repro.jvm.hierarchy import ClassHierarchy
 from repro.jvm.program import ClassDef, Const, MethodDef, Program, Return
@@ -37,6 +40,36 @@ class TestClassesForTarget:
         assert base_accepts.isdisjoint(mid_accepts)
 
 
+class TestAcceptanceSetMemoization:
+    def test_second_lookup_hits_cache(self):
+        program, base_ping, _mid = _program()
+        hierarchy = ClassHierarchy(program)
+        clear_accept_cache()
+        first = classes_for_target(hierarchy, "ping", base_ping)
+        info = accept_cache_info()
+        assert info == {"hits": 0, "misses": 1, "size": 1}
+        second = classes_for_target(hierarchy, "ping", base_ping)
+        assert second == first
+        assert accept_cache_info()["hits"] == 1
+
+    def test_cached_set_is_a_private_copy(self):
+        program, base_ping, _mid = _program()
+        hierarchy = ClassHierarchy(program)
+        clear_accept_cache()
+        classes_for_target(hierarchy, "ping", base_ping).add("Poison")
+        assert classes_for_target(hierarchy, "ping", base_ping) == {"Base"}
+
+    def test_class_load_invalidates_via_generation(self):
+        program, base_ping, _mid = _program()
+        hierarchy = ClassHierarchy(program)
+        clear_accept_cache()
+        classes_for_target(hierarchy, "ping", base_ping)
+        hierarchy.mark_loaded("Leaf")  # bumps the load generation
+        classes_for_target(hierarchy, "ping", base_ping)
+        info = accept_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+
+
 class TestOrdering:
     def _m(self, name):
         return MethodDef("C", name, 1, False, [Return(Const(0))])
@@ -50,6 +83,24 @@ class TestOrdering:
         a, b = self._m("a"), self._m("b")
         ordered = order_guard_targets([(b, 5.0), (a, 5.0)])
         assert [m.name for m in ordered] == ["a", "b"]
+
+    def test_tie_order_independent_of_input_position(self):
+        a, b, c = self._m("a"), self._m("b"), self._m("c")
+        forward = order_guard_targets([(a, 5.0), (b, 5.0), (c, 5.0)])
+        backward = order_guard_targets([(c, 5.0), (b, 5.0), (a, 5.0)])
+        assert [m.id for m in forward] == [m.id for m in backward]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_weights_rejected(self, bad):
+        a, b = self._m("a"), self._m("b")
+        with pytest.raises(ValueError, match="non-finite"):
+            order_guard_targets([(a, 1.0), (b, bad)])
+
+    def test_finite_weights_pass_validation(self):
+        a = self._m("a")
+        assert math.isfinite(1e300)
+        assert order_guard_targets([(a, 1e300)]) == [a]
 
 
 class TestBuildOptions:

@@ -91,6 +91,31 @@ def test_full_instrumentation_changes_nothing():
     assert instrumented == bare
 
 
+def test_speculation_is_off_by_default():
+    """Guard elision is opt-in, never ambient: the default cost model
+    keeps the speculation pass off, so stock runs -- including the run
+    the golden log pins -- never construct the analysis at all."""
+    from repro.jvm.costs import DEFAULT_COSTS
+    assert DEFAULT_COSTS.speculation_enabled is False
+    built = build_hashmap(iterations=4000)
+    runtime = AdaptiveRuntime(built.program, make_policy("fixed", 2))
+    assert runtime.speculation is None
+
+
+def test_speculation_disabled_run_matches_golden_byte_for_byte():
+    """Explicitly disabling speculation is the same as the default: the
+    recorded decision log reproduces the committed golden file exactly
+    (modulo the label header, which names the run)."""
+    from repro.jvm.costs import DEFAULT_COSTS
+    costs = DEFAULT_COSTS.replace(speculation_enabled=False)
+    built = build_hashmap(iterations=4000)
+    recorder = ProvenanceRecorder(label="golden/hashmap/fixed2")
+    AdaptiveRuntime(built.program, make_policy("fixed", 2, costs=costs),
+                    costs=costs, provenance=recorder).run()
+    with open(GOLDEN_PATH) as handle:
+        assert recorder.to_jsonl() == handle.read()
+
+
 def test_progress_tracking_alone_is_cycle_neutral():
     tracker = ProgressTracker(label="contract")
     built = build_hashmap(iterations=4000)
