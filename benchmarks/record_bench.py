@@ -10,6 +10,10 @@ they only move when the system's behaviour moves:
   speculation pass off vs on (guard tests/misses, elided entries) plus
   the elision-replay verdict, on the benchmarks where elision fires
   (jess) and where the analysis soundly refuses it (db).
+* ``BENCH_deopt_baseline.json`` -- guard-vs-planned deopt strategy
+  numbers (guard tests eliminated, deopt entries/exits taken, total
+  cycles) plus the OSR live-state replay verdict, on the exit-heavy
+  benchmark (mtrt) and a planning control (jess).
 
 Usage::
 
@@ -29,7 +33,8 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.analysis.soundness import check_elision_soundness  # noqa: E402
+from repro.analysis.soundness import (check_elision_soundness,  # noqa: E402
+                                      check_osr_soundness)
 from repro.aos.runtime import AdaptiveRuntime  # noqa: E402
 from repro.fleet.report import benchmark_report  # noqa: E402
 from repro.jvm.costs import DEFAULT_COSTS  # noqa: E402
@@ -40,6 +45,8 @@ BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
                              "BENCH_fleet_baseline.json")
 SPEC_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
                                   "BENCH_speculation_baseline.json")
+DEOPT_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "..",
+                                   "BENCH_deopt_baseline.json")
 
 #: The tracked configuration: small enough to re-measure in CI, big
 #: enough that warm starts have something to eliminate.
@@ -53,6 +60,14 @@ SCALE = 0.1
 #: jess compiles its guarded sites.
 SPEC_BENCHMARKS = ("jess", "db")
 SPEC_SCALE = 0.3
+
+#: Deopt baseline: compress is the headline win -- its guards almost
+#: always hit, so trading them for never-taken cheap exits cuts both
+#: guard tests and total cycles; mtrt's dispatched sites miss often, so
+#: it exercises the live-state-mapped exit path itself (guard cycles
+#: eliminated, exits paid).
+DEOPT_BENCHMARKS = ("compress", "mtrt")
+DEOPT_SCALE = 0.1
 
 
 def measure() -> dict:
@@ -106,6 +121,35 @@ def measure_speculation() -> dict:
     }
 
 
+def measure_deopt() -> dict:
+    rows = {}
+    for name in DEOPT_BENCHMARKS:
+        row = {}
+        for strategy in ("guard", "planned"):
+            costs = DEFAULT_COSTS.replace(deopt_planning_enabled=True,
+                                          deopt_strategy=strategy)
+            built = build_benchmark(name, scale=DEOPT_SCALE)
+            result = AdaptiveRuntime(built.program,
+                                     make_policy("cins", costs=costs),
+                                     costs=costs).run()
+            label = strategy
+            row[f"guard_tests_{label}"] = result.guard_tests
+            row[f"guard_misses_{label}"] = result.guard_misses
+            row[f"deopt_entries_{label}"] = result.deopt_entries
+            row[f"deopt_exits_{label}"] = result.deopt_exits
+            row[f"total_cycles_{label}"] = result.total_cycles
+        replay = check_osr_soundness(
+            build_benchmark(name, scale=DEOPT_SCALE).program)
+        row["replay_ok"] = replay.ok
+        rows[name] = row
+    return {
+        "schema": "repro.bench-deopt/v1",
+        "config": {"benchmarks": list(DEOPT_BENCHMARKS),
+                   "scale": DEOPT_SCALE, "family": "cins"},
+        "benchmarks": rows,
+    }
+
+
 def _check_one(path: str, payload: str, label: str) -> int:
     try:
         with open(path) as handle:
@@ -130,15 +174,19 @@ def main(argv=None) -> int:
                              "rewriting them")
     parser.add_argument("--out", default=BASELINE_PATH)
     parser.add_argument("--spec-out", default=SPEC_BASELINE_PATH)
+    parser.add_argument("--deopt-out", default=DEOPT_BASELINE_PATH)
     args = parser.parse_args(argv)
 
     baseline = measure()
     payload = json.dumps(baseline, indent=2, sort_keys=True) + "\n"
     spec_baseline = measure_speculation()
     spec_payload = json.dumps(spec_baseline, indent=2, sort_keys=True) + "\n"
+    deopt_baseline = measure_deopt()
+    deopt_payload = json.dumps(deopt_baseline, indent=2, sort_keys=True) + "\n"
     if args.check:
         return (_check_one(args.out, payload, "fleet perf")
-                or _check_one(args.spec_out, spec_payload, "speculation"))
+                or _check_one(args.spec_out, spec_payload, "speculation")
+                or _check_one(args.deopt_out, deopt_payload, "deopt"))
 
     with open(args.out, "w") as handle:
         handle.write(payload)
@@ -157,6 +205,16 @@ def main(argv=None) -> int:
               f"({row['elided_entries_on']:,} elided entries, replay "
               f"{'ok' if row['replay_ok'] else 'VIOLATED'})")
     print(f"speculation baseline -> {args.spec_out}")
+
+    with open(args.deopt_out, "w") as handle:
+        handle.write(deopt_payload)
+    for name, row in deopt_baseline["benchmarks"].items():
+        print(f"{name}: guard tests {row['guard_tests_guard']:,} -> "
+              f"{row['guard_tests_planned']:,} under planned "
+              f"({row['deopt_entries_planned']:,} exit-point entries, "
+              f"{row['deopt_exits_planned']:,} exits taken, replay "
+              f"{'ok' if row['replay_ok'] else 'VIOLATED'})")
+    print(f"deopt baseline -> {args.deopt_out}")
     return 0
 
 

@@ -1,9 +1,9 @@
 """Static analysis over mini-JVM programs.
 
-Seven coordinated pieces, layered strictly *above* the JVM/compiler
+Nine coordinated pieces, layered strictly *above* the JVM/compiler
 layers (nothing in :mod:`repro.jvm` or :mod:`repro.compiler` imports
-this package; the runtime hands the compiler a duck-typed speculation
-object only when the cost model opts in):
+this package; the runtime hands the compiler duck-typed speculation
+and deopt-planner objects only when the cost model opts in):
 
 * :mod:`repro.analysis.verifier` -- structural well-formedness checking
   with machine-readable :class:`VerifierError` diagnostics;
@@ -20,14 +20,24 @@ object only when the cost model opts in):
   driven purely by the static graphs (the baselines the paper's online
   system is measured against), flat and context-sensitive;
 * :mod:`repro.analysis.dataflow` -- the intraprocedural monotone
-  dataflow framework (forward, over the structured statement tree) and
-  its speculation clients: receiver preexistence, must-available
-  guards for dominance-based elision, and invalidation-cone risk;
+  dataflow framework (forward and backward, over the structured
+  statement tree, sharing one transfer-function registry) and its
+  speculation clients: receiver preexistence, must-available guards
+  for dominance-based elision, and invalidation-cone risk;
+* :mod:`repro.analysis.liveness` -- backward live-variable analysis
+  deriving per-statement live sets, per-loop OSR live sets, and
+  per-call-site exit live sets;
+* :mod:`repro.analysis.deopt` -- the deoptimization planner: combines
+  liveness-derived state-mapping cost with speculation risk and k-CFA
+  context precision to pick a per-site strategy on the
+  ``full-guard < cheap-exit-osr < guard-free`` lattice;
 * :mod:`repro.analysis.soundness` -- dynamic containment checking
   (every executed dispatch edge must lie in each tier's target set,
   context-conditioned for the k-CFA tiers), the elision-replay check
-  (no elided guard may ever have failed), and static-vs-profile
-  attribution of decision-diff flips.
+  (no elided guard may ever have failed), the OSR live-state replay
+  check (static live sets must cover every local the interpreter
+  reads after a transition), and static-vs-profile attribution of
+  decision-diff flips.
 
 :mod:`repro.analysis.report` bundles all of it behind the
 ``repro analyze`` CLI as a versioned JSON report.
@@ -37,14 +47,21 @@ from repro.analysis.callgraph import (CHA, PRECISIONS, RTA, CallSite,
                                       StaticCallGraph, build_call_graph)
 from repro.analysis.dataflow import (ACTION_ELIDE, ACTION_GUARD,
                                      ACTION_REFUSE, ALWAYS_PRE, NOT_PRE,
-                                     AvailableGuardAnalysis, CallFacts,
+                                     TRANSFER_REGISTRY,
+                                     AvailableGuardAnalysis, BackwardAnalysis,
+                                     CallFacts, DataflowAnalysis,
                                      ForwardAnalysis, MethodSummary,
                                      PreexistenceAnalysis,
                                      SpeculationAnalysis, SpeculationVerdict,
                                      join_pre, static_speculation_summary)
+from repro.analysis.deopt import (STRATEGY_GUARD, STRATEGY_GUARD_FREE,
+                                  STRATEGY_OSR_EXIT, DeoptPlan, DeoptPlanner)
 from repro.analysis.kcfa import (ContextSensitiveCallGraph, ContextTargets,
                                  KSite, build_kcfa_graph, extend,
                                  strings_compatible, truncate)
+from repro.analysis.liveness import (LivenessAnalysis, LoopLiveness,
+                                     MethodLiveness, collect_uses,
+                                     method_liveness)
 from repro.analysis.lattice import (LATTICE_KS, ContainmentViolation,
                                     LatticeReport, SiteLatticeRow,
                                     TierPrecisionScore, build_lattice_report,
@@ -57,12 +74,14 @@ from repro.analysis.report import (ANALYSIS_SCHEMA, ANALYZE_PRECISIONS,
 from repro.analysis.soundness import (ATTR_PROFILE_DECIDED,
                                       ATTR_STATIC_DECIDED, ATTR_UNKNOWN_SITE,
                                       ElisionReport, ElisionViolation,
-                                      LatticeSoundnessReport, SoundnessReport,
+                                      LatticeSoundnessReport, OSRReport,
+                                      OSRViolation, SoundnessReport,
                                       SoundnessViolation, attribute_flips,
                                       check_containment,
                                       check_context_containment,
                                       check_elision_soundness,
                                       check_lattice_soundness,
+                                      check_osr_soundness,
                                       check_soundness,
                                       flatten_context_edges,
                                       observe_context_edges,
@@ -85,6 +104,7 @@ __all__ = [
     "ATTR_STATIC_DECIDED",
     "ATTR_UNKNOWN_SITE",
     "AvailableGuardAnalysis",
+    "BackwardAnalysis",
     "CHA",
     "CallFacts",
     "CallSite",
@@ -92,6 +112,9 @@ __all__ = [
     "ContextSensitiveCallGraph",
     "ContextTargets",
     "DEFAULT_PRECISIONS",
+    "DataflowAnalysis",
+    "DeoptPlan",
+    "DeoptPlanner",
     "ElisionReport",
     "ElisionViolation",
     "ForwardAnalysis",
@@ -99,11 +122,19 @@ __all__ = [
     "LATTICE_KS",
     "LatticeReport",
     "LatticeSoundnessReport",
+    "LivenessAnalysis",
+    "LoopLiveness",
+    "MethodLiveness",
     "MethodSummary",
     "NOT_PRE",
+    "OSRReport",
+    "OSRViolation",
     "PRECISIONS",
     "PreexistenceAnalysis",
     "RTA",
+    "STRATEGY_GUARD",
+    "STRATEGY_GUARD_FREE",
+    "STRATEGY_OSR_EXIT",
     "SiteLatticeRow",
     "SoundnessReport",
     "SoundnessViolation",
@@ -112,6 +143,7 @@ __all__ = [
     "StaticCallGraph",
     "StaticContextOracle",
     "StaticOracle",
+    "TRANSFER_REGISTRY",
     "TierPrecisionScore",
     "VERIFIER_CODES",
     "VerificationFailure",
@@ -128,11 +160,14 @@ __all__ = [
     "check_context_containment",
     "check_elision_soundness",
     "check_lattice_soundness",
+    "check_osr_soundness",
     "check_soundness",
+    "collect_uses",
     "extend",
     "flatten_context_edges",
     "join_pre",
     "lattice_to_json",
+    "method_liveness",
     "observe_context_edges",
     "observe_dispatch_edges",
     "render_analysis",

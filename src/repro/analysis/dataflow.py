@@ -5,12 +5,15 @@ its guard chain forever, and every loaded-world CHA bind carries an
 unquantified invalidation risk.  This module supplies the static
 machinery to spend those costs deliberately:
 
-* :class:`ForwardAnalysis` -- a small intraprocedural monotone dataflow
-  framework over the statement bytecode (``Work``/``Let``/``New``/
-  ``If``/``Loop``/calls).  Branches are analyzed independently and
-  joined; loops iterate to a fixpoint.  Facts recorded at call sites
-  are accumulated with the client's join, so the recorded value equals
-  the fixpoint value.
+* :class:`ForwardAnalysis` / :class:`BackwardAnalysis` -- a small
+  intraprocedural monotone dataflow framework over the statement
+  bytecode (``Work``/``Let``/``New``/``If``/``Loop``/calls), one engine
+  per direction over a shared lattice interface and a shared per-kind
+  transfer registry (:data:`TRANSFER_REGISTRY`).  Branches are analyzed
+  independently and joined; loops iterate to a fixpoint.  Facts
+  recorded at call sites are accumulated with the client's join, so the
+  recorded value equals the fixpoint value.  The backward engine hosts
+  the live-variable client in :mod:`repro.analysis.liveness`.
 
 * :class:`PreexistenceAnalysis` -- forward reaching-receiver facts in
   the Detlefs & Agesen invariant-argument style.  The abstract value of
@@ -63,7 +66,9 @@ from repro.jvm.program import (
 )
 
 __all__ = [
-    "ForwardAnalysis", "PreexistenceAnalysis", "AvailableGuardAnalysis",
+    "DataflowAnalysis", "ForwardAnalysis", "BackwardAnalysis",
+    "TRANSFER_REGISTRY",
+    "PreexistenceAnalysis", "AvailableGuardAnalysis",
     "CallFacts", "MethodSummary", "SpeculationAnalysis",
     "SpeculationVerdict", "ACTION_ELIDE", "ACTION_GUARD", "ACTION_REFUSE",
     "NOT_PRE", "ALWAYS_PRE", "join_pre", "static_speculation_summary",
@@ -73,26 +78,37 @@ __all__ = [
 # The framework
 # ---------------------------------------------------------------------------
 
+#: Shared transfer-function registry: straight-line statement kind ->
+#: handler method name.  Both dataflow directions dispatch through this
+#: one table; a client implements only the handlers whose kinds touch
+#: its lattice (a missing handler is the identity transfer) instead of
+#: re-walking ``stmt.kind`` if-chains per client.  The two allocation
+#: kinds share a handler, as do the two dispatched-call kinds -- no
+#: client has ever distinguished within those groups.
+TRANSFER_REGISTRY = {
+    S_WORK: "transfer_work",
+    S_LET: "transfer_let",
+    S_NEW: "transfer_alloc",
+    S_NEWPOOL: "transfer_alloc",
+    S_STATIC_CALL: "transfer_static_call",
+    S_VIRTUAL_CALL: "transfer_dispatch",
+    S_INTERFACE_CALL: "transfer_dispatch",
+    S_RETURN: "transfer_return",
+}
 
-class ForwardAnalysis:
-    """Forward monotone dataflow over a structured statement body.
 
-    Subclasses define the lattice (``initial_state`` / ``copy_state`` /
-    ``join_states`` / ``states_equal``), the transfer function for
-    straight-line statements, and a ``visit`` hook that observes the
-    state flowing *into* each statement (used to record per-site facts).
+class DataflowAnalysis:
+    """Lattice interface and transfer dispatch shared by both directions.
 
-    ``If`` analyzes both branches from copies of the incoming state and
-    joins the exits.  ``Loop`` iterates its body until the joined state
-    stabilizes; because ``visit`` accumulates recorded facts with the
-    client's own join, the value recorded for a statement inside a loop
-    converges to the fixpoint value.  Termination needs a finite-height
-    lattice, which both clients below have.
+    Subclasses of the two engine classes define the lattice
+    (``initial_state`` / ``copy_state`` / ``join_states`` /
+    ``states_equal``) plus per-kind transfer handlers named by
+    :data:`TRANSFER_REGISTRY`, and a ``visit`` hook that observes the
+    per-statement state (used to record per-site facts).
     """
 
     def analyze(self, method: MethodDef):
-        state = self.initial_state(method)
-        return self._run_body(method.body, state)
+        raise NotImplementedError
 
     # -- client interface --------------------------------------------------
 
@@ -109,15 +125,39 @@ class ForwardAnalysis:
         raise NotImplementedError
 
     def transfer(self, stmt: Stmt, state):
-        """Apply a non-control statement's effect; return the new state."""
-        raise NotImplementedError
+        """Apply a non-control statement's effect; return the new state.
+
+        Dispatches through :data:`TRANSFER_REGISTRY`; kinds without a
+        handler on the client leave the state unchanged.
+        """
+        handler = getattr(self, TRANSFER_REGISTRY[stmt.kind], None)
+        if handler is None:
+            return state
+        return handler(stmt, state)
 
     def transfer_loop_index(self, index_local: int, state):
         """Model the loop induction variable's per-iteration assignment."""
         raise NotImplementedError
 
     def visit(self, stmt: Stmt, state) -> None:
-        """Observe the state reaching ``stmt`` (before its effect)."""
+        """Observe the per-statement state (direction-dependent: the
+        state flowing *into* the statement in execution order)."""
+
+
+class ForwardAnalysis(DataflowAnalysis):
+    """Forward monotone dataflow over a structured statement body.
+
+    ``If`` analyzes both branches from copies of the incoming state and
+    joins the exits.  ``Loop`` iterates its body until the joined state
+    stabilizes; because ``visit`` accumulates recorded facts with the
+    client's own join, the value recorded for a statement inside a loop
+    converges to the fixpoint value.  Termination needs a finite-height
+    lattice, which all clients below have.
+    """
+
+    def analyze(self, method: MethodDef):
+        state = self.initial_state(method)
+        return self._run_body(method.body, state)
 
     # -- driver ------------------------------------------------------------
 
@@ -149,6 +189,92 @@ class ForwardAnalysis:
                 state = merged
         self.visit(stmt, state)
         return self.transfer(stmt, state)
+
+
+class BackwardAnalysis(DataflowAnalysis):
+    """Backward monotone dataflow over a structured statement body.
+
+    Statements are processed in reverse execution order: ``analyze``
+    starts from the client's ``initial_state`` at method exit and
+    returns the state at method entry.  ``If`` analyzes both branches
+    from copies of the after-statement state and joins the branch
+    entries.  ``Loop`` iterates its body to a fixpoint so facts carried
+    across the back edge (e.g. loop-carried liveness) are captured: the
+    after-body state joins the after-loop state because an iteration is
+    followed by either another iteration or the loop exit, and the
+    zero-trip case keeps the after-loop state in the join.
+
+    Two extra client hooks cover the control expressions the registry
+    cannot see -- ``transfer_branch`` (an ``If`` condition) and
+    ``transfer_loop_count`` (a ``Loop`` trip-count expression), both
+    identity by default -- and ``visit_loop`` observes the loop-header
+    fixpoint state itself: the facts holding at the back edge, which is
+    exactly what an OSR entry point must reconstruct.
+
+    ``visit`` observes the state *before* each statement in execution
+    order (the same program point the forward engine's ``visit`` sees,
+    reached from the other side).  Inside loops both ``visit`` hooks
+    fire once per fixpoint iteration with monotonically growing (under
+    the client's join) states, so clients accumulate with their join
+    and the recorded value converges to the fixpoint value.
+    """
+
+    def analyze(self, method: MethodDef):
+        state = self.initial_state(method)
+        return self._run_body(method.body, state)
+
+    # -- extra client hooks ------------------------------------------------
+
+    def transfer_branch(self, stmt: Stmt, state):
+        """Apply an ``If`` condition's effect (identity by default)."""
+        return state
+
+    def transfer_loop_count(self, stmt: Stmt, state):
+        """Apply a ``Loop`` trip-count expression's effect (identity)."""
+        return state
+
+    def visit_loop(self, stmt: Stmt, state) -> None:
+        """Observe a loop's fixpoint back-edge state (the OSR-entry
+        facts), before the trip-count expression's own effect."""
+
+    # -- driver ------------------------------------------------------------
+
+    def _run_body(self, body: Sequence[Stmt], state):
+        for stmt in reversed(body):
+            state = self._run_stmt(stmt, state)
+        return state
+
+    def _run_stmt(self, stmt: Stmt, state):
+        kind = stmt.kind
+        if kind == S_IF:
+            then_state = self._run_body(stmt.then_body,
+                                        self.copy_state(state))
+            else_state = self._run_body(stmt.else_body,
+                                        self.copy_state(state))
+            state = self.join_states(then_state, else_state)
+            state = self.transfer_branch(stmt, state)
+            self.visit(stmt, state)
+            return state
+        if kind == S_LOOP:
+            # state accumulates the after-loop state joined with every
+            # body-entry state; the induction variable is assigned at
+            # the head of every iteration, so its per-iteration kill is
+            # applied to the body state before the join.
+            while True:
+                body_state = self._run_body(stmt.body,
+                                            self.copy_state(state))
+                self.transfer_loop_index(stmt.index_local, body_state)
+                merged = self.join_states(state, body_state)
+                if self.states_equal(merged, state):
+                    break
+                state = merged
+            self.visit_loop(stmt, state)
+            state = self.transfer_loop_count(stmt, state)
+            self.visit(stmt, state)
+            return state
+        state = self.transfer(stmt, state)
+        self.visit(stmt, state)
+        return state
 
 
 # ---------------------------------------------------------------------------
@@ -248,22 +374,28 @@ class PreexistenceAnalysis(ForwardAnalysis):
         return join_pre(self.eval_expr(expr.left, state),
                         self.eval_expr(expr.right, state))
 
-    def transfer(self, stmt: Stmt, state: List[PreFact]) -> List[PreFact]:
-        kind = stmt.kind
-        if kind == S_LET:
-            if stmt.dst < len(state):
-                state[stmt.dst] = self.eval_expr(stmt.expr, state)
-        elif kind in (S_NEW, S_NEWPOOL):
-            # Allocated during this activation: by definition not
-            # preexistent (its class may have loaded mid-activation).
-            if stmt.dst < len(state):
-                state[stmt.dst] = NOT_PRE
-        elif kind in (S_STATIC_CALL, S_VIRTUAL_CALL, S_INTERFACE_CALL):
-            if stmt.dst is not None and stmt.dst < len(state):
-                state[stmt.dst] = NOT_PRE
-        elif kind in (S_WORK, S_RETURN):
-            pass
+    def transfer_let(self, stmt: Stmt,
+                     state: List[PreFact]) -> List[PreFact]:
+        if stmt.dst < len(state):
+            state[stmt.dst] = self.eval_expr(stmt.expr, state)
         return state
+
+    def transfer_alloc(self, stmt: Stmt,
+                       state: List[PreFact]) -> List[PreFact]:
+        # Allocated during this activation: by definition not
+        # preexistent (its class may have loaded mid-activation).
+        if stmt.dst < len(state):
+            state[stmt.dst] = NOT_PRE
+        return state
+
+    def transfer_static_call(self, stmt: Stmt,
+                             state: List[PreFact]) -> List[PreFact]:
+        if stmt.dst is not None and stmt.dst < len(state):
+            state[stmt.dst] = NOT_PRE
+        return state
+
+    # Dispatched-call results are just as freshly produced.
+    transfer_dispatch = transfer_static_call
 
     def transfer_loop_index(self, index_local: int,
                             state: List[PreFact]) -> None:
@@ -344,19 +476,24 @@ class AvailableGuardAnalysis(ForwardAnalysis):
         for fact in dead:
             state.discard(fact)
 
-    def transfer(self, stmt: Stmt, state: set) -> set:
-        kind = stmt.kind
-        if kind in (S_LET, S_NEW, S_NEWPOOL):
+    def transfer_let(self, stmt: Stmt, state: set) -> set:
+        self._kill_local(state, stmt.dst)
+        return state
+
+    # Allocations overwrite their destination local the same way.
+    transfer_alloc = transfer_let
+
+    def transfer_static_call(self, stmt: Stmt, state: set) -> set:
+        if stmt.dst is not None:
             self._kill_local(state, stmt.dst)
-        elif kind in (S_VIRTUAL_CALL, S_INTERFACE_CALL):
-            tag = receiver_tag(stmt.receiver)
-            if tag is not None:
-                state.add((stmt.site, stmt.selector, tag))
-            if stmt.dst is not None:
-                self._kill_local(state, stmt.dst)
-        elif kind == S_STATIC_CALL:
-            if stmt.dst is not None:
-                self._kill_local(state, stmt.dst)
+        return state
+
+    def transfer_dispatch(self, stmt: Stmt, state: set) -> set:
+        tag = receiver_tag(stmt.receiver)
+        if tag is not None:
+            state.add((stmt.site, stmt.selector, tag))
+        if stmt.dst is not None:
+            self._kill_local(state, stmt.dst)
         return state
 
     def transfer_loop_index(self, index_local: int, state: set) -> None:

@@ -1,0 +1,244 @@
+"""Backward live-variable analysis over the structured statement tree.
+
+The cost of an OSR transition is dominated by live-state mapping (D'Elia
+& Demetrescu, "On-Stack Replacement a la Carte"): every local that the
+remainder of the activation may still read has to be carried across the
+tier boundary.  This module computes those live sets statically with the
+:class:`~repro.analysis.dataflow.BackwardAnalysis` engine:
+
+* the state is the set of local slots live at a program point (a local
+  is *live* when some path to method exit reads it before writing it);
+* uses come from ``Local(i)`` expression leaves (``Arg`` reads the
+  immutable argument tuple, which both tiers share and never map);
+* kills come from ``Let``/``New``/``NewPool``/call destinations and the
+  loop induction variable's per-iteration assignment;
+* ``Return`` resets the state to exactly its operand's uses -- nothing
+  after a return in the same body executes;
+* branch join is set union, and loop bodies iterate to a fixpoint so a
+  local that is live only across the back edge (written late in one
+  iteration, read early in the next) is correctly live at the loop
+  header.
+
+Per method the analysis records the two flavours of OSR point:
+
+* every loop header -- the existing back-edge OSR *entry* points, whose
+  fixpoint state is what a baseline-to-optimized transfer must map in;
+* every dispatched call site -- candidate cheap-exit OSR points, whose
+  before-statement state is the pruned live-state map a deoptimization
+  exit must map out.
+
+Like every analysis-layer module this one depends only on
+:mod:`repro.jvm`; consumers in the compiler receive results by
+injection (see :mod:`repro.analysis.deopt`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.jvm.program import (
+    E_ARG, E_CONST, E_LOCAL, E_PICK,
+    S_STATIC_CALL, Expr, MethodDef, Stmt,
+)
+
+from repro.analysis.dataflow import BackwardAnalysis
+
+__all__ = [
+    "LivenessAnalysis", "LoopLiveness", "MethodLiveness",
+    "collect_uses", "method_liveness",
+]
+
+
+def collect_uses(expr: Optional[Expr], into: set) -> set:
+    """Add every local slot read by ``expr`` to ``into`` and return it."""
+    if expr is None:
+        return into
+    kind = expr.kind
+    if kind == E_LOCAL:
+        into.add(expr.index)
+    elif kind == E_PICK:
+        collect_uses(expr.pool, into)
+        collect_uses(expr.index, into)
+    elif kind not in (E_CONST, E_ARG):
+        # Binary arithmetic: the only remaining compound shapes.
+        collect_uses(expr.left, into)
+        collect_uses(expr.right, into)
+    return into
+
+
+class LoopLiveness:
+    """One loop-header OSR entry point and its live-state map."""
+
+    __slots__ = ("path", "index_local", "live")
+
+    def __init__(self, path: str, index_local: int, live: FrozenSet[int]):
+        self.path = path
+        self.index_local = index_local
+        self.live = live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LoopLiveness {self.path} idx={self.index_local} "
+                f"live={sorted(self.live)}>")
+
+
+class MethodLiveness:
+    """Cached liveness results for one (immutable) method body.
+
+    Attributes
+    ----------
+    method_id:
+        The analyzed method.
+    entry_live:
+        Locals live at method entry.  Locals start zeroed, so a nonempty
+        set flags reads of the default value, not an analysis bug.
+    site_live:
+        Call-site id -> locals live immediately before the call (the
+        deopt state a cheap-exit OSR point at that site must map out).
+    loops:
+        Every loop header in structural-path order, each carrying the
+        fixpoint back-edge live set (the state a loop OSR entry maps in).
+    loop_live_by_id:
+        The same loop live sets keyed by ``id(loop_stmt)`` -- statement
+        objects are shared with the executing machine, so this is the
+        lookup the interpreter and the soundness replay use.
+    """
+
+    __slots__ = ("method_id", "entry_live", "site_live", "loops",
+                 "loop_live_by_id")
+
+    def __init__(self, method_id: str, entry_live: FrozenSet[int],
+                 site_live: Dict[int, FrozenSet[int]],
+                 loops: Tuple[LoopLiveness, ...],
+                 loop_live_by_id: Dict[int, FrozenSet[int]]):
+        self.method_id = method_id
+        self.entry_live = entry_live
+        self.site_live = site_live
+        self.loops = loops
+        self.loop_live_by_id = loop_live_by_id
+
+
+class LivenessAnalysis(BackwardAnalysis):
+    """The live-variable client of :class:`BackwardAnalysis`."""
+
+    def __init__(self):
+        #: id(loop_stmt) -> accumulated back-edge live set.
+        self.loop_live: Dict[int, set] = {}
+        #: Loop statements in first-visit order (for stable reporting).
+        self.loop_order: List[Stmt] = []
+        #: call-site id -> accumulated before-call live set.
+        self.site_live: Dict[int, set] = {}
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial_state(self, method: MethodDef) -> set:
+        return set()
+
+    def copy_state(self, state: set) -> set:
+        return set(state)
+
+    def join_states(self, left: set, right: set) -> set:
+        return left | right
+
+    def states_equal(self, left: set, right: set) -> bool:
+        return left == right
+
+    # -- transfers (registry handlers + control hooks) ---------------------
+
+    def transfer_let(self, stmt: Stmt, state: set) -> set:
+        state.discard(stmt.dst)
+        return collect_uses(stmt.expr, state)
+
+    def transfer_alloc(self, stmt: Stmt, state: set) -> set:
+        state.discard(stmt.dst)
+        return state
+
+    def transfer_static_call(self, stmt: Stmt, state: set) -> set:
+        if stmt.dst is not None:
+            state.discard(stmt.dst)
+        if stmt.kind != S_STATIC_CALL:
+            collect_uses(stmt.receiver, state)
+        for arg in stmt.args:
+            collect_uses(arg, state)
+        return state
+
+    transfer_dispatch = transfer_static_call
+
+    def transfer_return(self, stmt: Stmt, state: set) -> set:
+        # Nothing after a return in this body runs: the live set is
+        # exactly what the return operand reads.
+        return collect_uses(stmt.expr, set())
+
+    def transfer_branch(self, stmt: Stmt, state: set) -> set:
+        return collect_uses(stmt.cond, state)
+
+    def transfer_loop_count(self, stmt: Stmt, state: set) -> set:
+        return collect_uses(stmt.count, state)
+
+    def transfer_loop_index(self, index_local: int, state: set) -> None:
+        # Assigned at the head of every iteration, hence never
+        # loop-carried: dead at the back edge.
+        state.discard(index_local)
+
+    # -- recording ---------------------------------------------------------
+
+    def visit_loop(self, stmt: Stmt, state: set) -> None:
+        key = id(stmt)
+        if key not in self.loop_live:
+            self.loop_live[key] = set()
+            self.loop_order.append(stmt)
+        # Fixpoint states grow monotonically under the union join, so
+        # accumulating converges on the final fixpoint value even when
+        # this loop is revisited by an enclosing loop's iterations.
+        self.loop_live[key] |= state
+
+    def visit(self, stmt: Stmt, state: set) -> None:
+        site = getattr(stmt, "site", None)
+        if site is None:
+            return
+        existing = self.site_live.get(site)
+        if existing is None:
+            self.site_live[site] = set(state)
+        else:
+            existing |= state
+
+
+def _loop_paths(method: MethodDef) -> Dict[int, str]:
+    """Structural paths ("body[1].loop.body[0].loop") per loop header."""
+    from repro.jvm.program import S_IF, S_LOOP
+
+    paths: Dict[int, str] = {}
+
+    def walk(body, prefix: str) -> None:
+        for position, stmt in enumerate(body):
+            here = f"{prefix}body[{position}]"
+            if stmt.kind == S_LOOP:
+                paths[id(stmt)] = f"{here}.loop"
+                walk(stmt.body, f"{here}.loop.")
+            elif stmt.kind == S_IF:
+                walk(stmt.then_body, f"{here}.then.")
+                walk(stmt.else_body, f"{here}.else.")
+
+    walk(method.body, "")
+    return paths
+
+
+def method_liveness(method: MethodDef) -> MethodLiveness:
+    """Run the liveness client over one method and package the results."""
+    analysis = LivenessAnalysis()
+    entry = analysis.analyze(method)
+    paths = _loop_paths(method)
+    loop_live_by_id = {
+        key: frozenset(live) for key, live in analysis.loop_live.items()
+    }
+    loops = tuple(
+        LoopLiveness(paths[id(stmt)], stmt.index_local,
+                     loop_live_by_id[id(stmt)])
+        for stmt in sorted(analysis.loop_order,
+                           key=lambda stmt: paths[id(stmt)])
+    )
+    site_live = {
+        site: frozenset(live)
+        for site, live in analysis.site_live.items()
+    }
+    return MethodLiveness(method.id, frozenset(entry), site_live, loops,
+                          loop_live_by_id)

@@ -31,6 +31,7 @@ from repro.analysis.dataflow import static_speculation_summary
 from repro.analysis.soundness import (check_containment,
                                       check_elision_soundness,
                                       check_lattice_soundness,
+                                      check_osr_soundness,
                                       observe_context_edges,
                                       observe_dispatch_edges)
 from repro.analysis.verifier import verify_program
@@ -54,7 +55,8 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
                     soundness: bool = True, phase: float = 0.0,
                     precisions: Sequence[str] = DEFAULT_PRECISIONS,
                     lattice: bool = False, k: int = 2,
-                    speculation: bool = False) \
+                    speculation: bool = False,
+                    deopt: bool = False) \
         -> Dict[str, object]:
     """Full analysis of one program, as a JSON-ready dict.
 
@@ -71,7 +73,11 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
     replay for both.  ``speculation=True`` adds the speculation-risk
     section: the static dataflow summary, an elision-replay soundness
     check (speculation forced on), and the guard-cycle comparison
-    against a speculation-off baseline run.
+    against a speculation-off baseline run.  ``deopt=True`` adds the
+    deoptimization-planning section: the per-method OSR-point table
+    (liveness-derived live-set sizes), the OSR live-state soundness
+    replay, the per-strategy site counts the planner chose, and the
+    planned-vs-guard cycle delta.
     """
     verification = verify_program(program)
     payload: Dict[str, object] = {
@@ -146,6 +152,8 @@ def analyze_program(program: Program, costs: CostModel = DEFAULT_COSTS,
     if speculation:
         payload["speculation"] = _speculation_section(program, costs=costs,
                                                       phase=phase)
+    if deopt:
+        payload["deopt"] = _deopt_section(program, costs=costs, phase=phase)
     return payload
 
 
@@ -184,6 +192,89 @@ def _speculation_section(program: Program, costs: CostModel,
     }
 
 
+def _deopt_section(program: Program, costs: CostModel,
+                   phase: float) -> Dict[str, object]:
+    """OSR-point table + live-state replay + planned-vs-guard delta."""
+    from repro.analysis.liveness import method_liveness
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    # Static per-method OSR-point table: loop-header entry points with
+    # their map-in live sets, dispatched call sites with the map-out
+    # live sets a cheap exit would carry.
+    methods: List[Dict[str, object]] = []
+    total_loops = 0
+    total_exit_candidates = 0
+    for method in program.methods():
+        liveness = method_liveness(method)
+        if not liveness.loops and not liveness.site_live:
+            continue
+        methods.append({
+            "method": method.id,
+            "entry_live": sorted(liveness.entry_live),
+            "loops": [{"path": loop.path, "live": sorted(loop.live)}
+                      for loop in liveness.loops],
+            "site_live": {str(site): sorted(live)
+                          for site, live in sorted(liveness.site_live.items())},
+        })
+        total_loops += len(liveness.loops)
+        total_exit_candidates += len(liveness.site_live)
+
+    replay = check_osr_soundness(program, costs=costs, phase=phase)
+
+    # Planned-vs-guard comparison: both runs charge identical OSR map-in
+    # costs (planning enabled either way), so the delta isolates the
+    # strategy choice -- guard cycles saved vs deoptimization exits paid.
+    def run_strategy(strategy: str):
+        run_costs = costs.replace(deopt_planning_enabled=True,
+                                  deopt_strategy=strategy)
+        runtime = AdaptiveRuntime(program,
+                                  make_policy("cins", costs=run_costs),
+                                  run_costs, sample_phase=phase)
+        result = runtime.run()
+        strategies: Dict[str, int] = {}
+        for compiled in runtime.code_cache.opt_methods():
+            for node in compiled.root.walk():
+                for decision in node.decisions.values():
+                    if decision.deopt is not None:
+                        strategies[decision.deopt] = \
+                            strategies.get(decision.deopt, 0) + 1
+        return result, strategies
+
+    planned, strategies = run_strategy("planned")
+    guard, _stock = run_strategy("guard")
+    saved = (guard.guard_tests - planned.guard_tests) * costs.guard_test
+    return {
+        "ok": replay.ok,
+        "osr_points": {
+            "loops": total_loops,
+            "exit_candidates": total_exit_candidates,
+            "methods": methods,
+        },
+        "soundness_replay": {
+            "ok": replay.ok,
+            "osr_transfers": replay.osr_transfers,
+            "deopt_entries": replay.deopt_entries,
+            "deopt_exits": replay.deopt_exits,
+            "reads_checked": replay.reads_checked,
+            "violations": [dataclasses.asdict(v)
+                           for v in replay.violations],
+        },
+        # Installed-code site counts per chosen strategy (planned run).
+        "strategies": strategies,
+        "planned_vs_guard": {
+            "guard_tests_guard": guard.guard_tests,
+            "guard_tests_planned": planned.guard_tests,
+            "deopt_entries": planned.deopt_entries,
+            "deopt_exits": planned.deopt_exits,
+            "guard_cycles_saved": saved,
+            "app_cycles_guard": guard.app_cycles,
+            "app_cycles_planned": planned.app_cycles,
+            "app_cycle_delta": guard.app_cycles - planned.app_cycles,
+        },
+    }
+
+
 def analyze_benchmark(name: str, scale: float = 1.0,
                       costs: CostModel = DEFAULT_COSTS,
                       soundness: bool = True,
@@ -191,7 +282,8 @@ def analyze_benchmark(name: str, scale: float = 1.0,
                       precisions: Sequence[str] = DEFAULT_PRECISIONS,
                       lattice: bool = False,
                       k: int = 2,
-                      speculation: bool = False) -> Dict[str, object]:
+                      speculation: bool = False,
+                      deopt: bool = False) -> Dict[str, object]:
     """Build one Table-1 benchmark (seed-deterministic) and analyze it."""
     from repro.workloads.spec import build_benchmark
 
@@ -199,7 +291,7 @@ def analyze_benchmark(name: str, scale: float = 1.0,
     return analyze_program(generated.program, costs=costs,
                            soundness=soundness, phase=phase,
                            precisions=precisions, lattice=lattice, k=k,
-                           speculation=speculation)
+                           speculation=speculation, deopt=deopt)
 
 
 def report_ok(payload: Dict[str, object]) -> bool:
@@ -215,6 +307,9 @@ def report_ok(payload: Dict[str, object]) -> bool:
         return False
     speculation = payload.get("speculation")
     if speculation is not None and not speculation.get("ok", False):
+        return False
+    deopt = payload.get("deopt")
+    if deopt is not None and not deopt.get("ok", False):
         return False
     return True
 
@@ -292,7 +387,37 @@ def render_analysis(payload: Dict[str, object]) -> str:
     speculation = payload.get("speculation")
     if speculation is not None:
         lines.extend(_render_speculation_section(speculation))
+
+    deopt = payload.get("deopt")
+    if deopt is not None:
+        lines.extend(_render_deopt_section(deopt))
     return "\n".join(lines)
+
+
+def _render_deopt_section(deopt: Dict[str, object]) -> List[str]:
+    """Summary lines for the deoptimization-planning payload."""
+    points = deopt["osr_points"]
+    replay = deopt["soundness_replay"]
+    delta = deopt["planned_vs_guard"]
+    strategies = deopt["strategies"]
+    chosen = ", ".join(f"{name} x{count}"
+                       for name, count in sorted(strategies.items())) \
+        or "none"
+    status = ("replay clean" if deopt["ok"] else
+              f"{len(replay['violations'])} VIOLATION(S)")
+    lines = [
+        f"  deopt    : {points['loops']} loop OSR point(s), "
+        f"{points['exit_candidates']} exit candidate(s); "
+        f"strategies [{chosen}]; guard tests "
+        f"{delta['guard_tests_guard']} -> {delta['guard_tests_planned']} "
+        f"({delta['deopt_exits']} exit(s) taken, app cycle delta "
+        f"{delta['app_cycle_delta']:+.0f}); {status}"]
+    for violation in replay["violations"]:
+        lines.append(f"    [{violation['kind']}] {violation['method']} "
+                     f"{violation['where']}: read local "
+                     f"{violation['index']} outside live set "
+                     f"({violation['count']}x)")
+    return lines
 
 
 def _render_speculation_section(spec: Dict[str, object]) -> List[str]:

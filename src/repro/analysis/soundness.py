@@ -265,6 +265,150 @@ def check_elision_soundness(program: Program, policy=None,
         violations=violations)
 
 
+# -- OSR live-state replay -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OSRViolation:
+    """One post-transfer local read the static live set failed to cover.
+
+    After an OSR transition (loop entry onto optimized code, or a
+    cheap-exit deoptimization) only the statically-computed live set is
+    mapped across the tier boundary.  A read of a slot outside that set
+    -- not preceded by a post-transfer write of the same slot -- means
+    the transition would have read garbage in a real VM.
+    """
+
+    method: str
+    kind: str                    #: "osr-entry" or "deopt-exit"
+    where: str                   #: loop path, or "site N" for exits
+    index: int                   #: the local slot read
+    live: Tuple[int, ...]        #: the static live set at the point
+    count: int = 1               #: dynamic occurrences on this run
+
+    @property
+    def code(self) -> str:
+        return f"unsound-live-{self.kind}"
+
+    def describe(self) -> str:
+        return (f"[{self.code}] {self.method} {self.where}: read local "
+                f"{self.index} outside live set "
+                f"{{{', '.join(map(str, self.live))}}} ({self.count}x)")
+
+
+@dataclass(frozen=True)
+class OSRReport:
+    """Outcome of one fixed-seed replay with deopt planning enabled."""
+
+    program_name: str
+    osr_transfers: int            #: loop OSR entries watched
+    deopt_entries: int            #: zero-cost entries at cheap-exit sites
+    deopt_exits: int              #: deoptimization exits watched
+    reads_checked: int            #: local reads in watched activations
+    total_cycles: float
+    violations: Tuple[OSRViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        head = (f"osr soundness {self.program_name}: "
+                f"{self.osr_transfers} loop transfer(s), "
+                f"{self.deopt_exits} deopt exit(s), "
+                f"{self.reads_checked} watched read(s): ")
+        if self.ok:
+            return head + "live sets cover every read"
+        lines = [head + f"{len(self.violations)} VIOLATION(S)"]
+        lines.extend(f"  {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_osr_soundness(program: Program, policy=None,
+                        costs: CostModel = DEFAULT_COSTS,
+                        phase: float = 0.0) -> OSRReport:
+    """Replay with deopt planning on; assert live sets cover every read.
+
+    Forces ``deopt_planning_enabled`` and the ``planned`` strategy (the
+    configuration exercising both OSR-point flavours), runs the
+    fixed-seed adaptive system with the machine's zero-cost transition
+    observers and local-access probe attached, and checks the soundness
+    contract of the liveness analysis: from each transition onward,
+    every local the interpreter actually reads in the transferred
+    activation is either in the statically-computed live set that was
+    mapped across, or was re-written after the transfer (reads after a
+    post-transfer write never consult mapped state).
+    """
+    from repro.analysis.liveness import _loop_paths
+    from repro.aos.runtime import AdaptiveRuntime
+    from repro.policies import make_policy
+
+    if not costs.deopt_planning_enabled or costs.deopt_strategy != "planned":
+        costs = costs.replace(deopt_planning_enabled=True,
+                              deopt_strategy="planned")
+    if policy is None:
+        policy = make_policy("cins", costs=costs)
+    runtime = AdaptiveRuntime(program, policy, costs, sample_phase=phase)
+
+    loop_paths: Dict[int, str] = {}
+    for method in program.methods():
+        loop_paths.update(_loop_paths(method))
+
+    # id(locals_) -> [locals_ref, live, written, method_id, kind, where].
+    # The strong reference to the locals list pins its id for the whole
+    # run, so a recycled id can never alias a watched activation.
+    watched: Dict[int, list] = {}
+    counts: Dict[Tuple[str, str, str, int, Tuple[int, ...]], int] = {}
+    reads_checked = [0]
+
+    def watch(locals_, live, method_id: str, kind: str, where: str) -> None:
+        watched[id(locals_)] = [locals_, frozenset(live), set(),
+                                method_id, kind, where]
+
+    def on_osr_entry(method_id, loop_stmt, locals_) -> None:
+        index = runtime.machine.osr_liveness or {}
+        watch(locals_, index.get(id(loop_stmt), frozenset()), method_id,
+              "osr-entry", loop_paths.get(id(loop_stmt), "<loop>"))
+
+    def on_deopt_exit(site, exit_live, locals_) -> None:
+        frame = runtime.machine.stack[-1]
+        watch(locals_, exit_live, frame.method.id, "deopt-exit",
+              f"site {site}")
+
+    def probe(locals_, index: int, is_read: bool) -> None:
+        entry = watched.get(id(locals_))
+        if entry is None or entry[0] is not locals_:
+            return
+        if not is_read:
+            entry[2].add(index)
+            return
+        reads_checked[0] += 1
+        if index in entry[1] or index in entry[2]:
+            return
+        key = (entry[3], entry[4], entry[5], index,
+               tuple(sorted(entry[1])))
+        counts[key] = counts.get(key, 0) + 1
+
+    runtime.machine.osr_entry_observer = on_osr_entry
+    runtime.machine.deopt_exit_observer = on_deopt_exit
+    runtime.machine.local_probe = probe
+    result = runtime.run()
+    stats = runtime.machine.stats
+    violations = tuple(
+        OSRViolation(method=method, kind=kind, where=where, index=index,
+                     live=live, count=count)
+        for (method, kind, where, index, live), count
+        in sorted(counts.items()))
+    return OSRReport(
+        program_name=program.name,
+        osr_transfers=stats.osr_transfers,
+        deopt_entries=stats.deopt_entries,
+        deopt_exits=stats.deopt_exits,
+        reads_checked=reads_checked[0],
+        total_cycles=result.total_cycles,
+        violations=violations)
+
+
 # -- context-conditioned observation and the full precision chain --------------
 
 #: (site, dynamic call string) -> executed target -> dispatch count.

@@ -60,7 +60,7 @@ class Controller:
                  state: AOSState, code_cache: CodeCache,
                  database: AOSDatabase, costs: CostModel,
                  telemetry=NULL_RECORDER, provenance=NULL_PROVENANCE,
-                 oracle_factory=None, speculation=None):
+                 oracle_factory=None, speculation=None, deopt=None):
         self._program = program
         self._hierarchy = hierarchy
         self._state = state
@@ -73,6 +73,8 @@ class Controller:
         #: Factory-made oracles (static policies) keep their fixed keyword
         #: contract and never see it.
         self._speculation = speculation
+        #: Optional deopt planner, same wiring contract as speculation.
+        self._deopt = deopt
         #: Optional hook replacing the stock :class:`InlineOracle` for
         #: every compilation plan.  Called with the same keyword wiring
         #: the stock oracle receives (refusal/CHA-dependency sinks,
@@ -214,7 +216,7 @@ class Controller:
                 on_refusal=database.record_refusal, dcg=state.dcg,
                 on_cha_dependency=database.record_cha_dependency,
                 telemetry=self._telemetry, provenance=self._provenance,
-                speculation=self._speculation)
+                speculation=self._speculation, deopt=self._deopt)
         plan = CompilationPlan(
             method_id=method_id,
             oracle=oracle,

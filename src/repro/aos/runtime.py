@@ -99,6 +99,12 @@ class RunResult:
     #: unless ``costs.speculation_enabled`` (default keeps old cached
     #: cells loadable).
     elided_entries: int = 0
+    #: Zero-cost entries through cheap-exit OSR sites and deoptimization
+    #: exits taken at them (deopt planner); both zero unless
+    #: ``costs.deopt_planning_enabled`` (defaults keep old cached cells
+    #: loadable).
+    deopt_entries: int = 0
+    deopt_exits: int = 0
 
     @property
     def app_cycles(self) -> float:
@@ -159,6 +165,19 @@ class AdaptiveRuntime:
             from repro.analysis.dataflow import SpeculationAnalysis
             self.speculation = SpeculationAnalysis(program, self.hierarchy,
                                                    costs)
+        # Deopt planning (OSR liveness + risk-directed strategy choice)
+        # is gated the same way.  Under the stock "guard" strategy
+        # dimension the planner still supplies the machine's OSR
+        # live-state maps (map-in charging) but the oracle is never
+        # routed through it -- the like-for-like baseline against which
+        # the "osr-exit" and "planned" dimensions are measured.
+        self.deopt = None
+        oracle_deopt = None
+        if costs.deopt_planning_enabled:
+            from repro.analysis.deopt import DeoptPlanner
+            self.deopt = DeoptPlanner(program, self.hierarchy, costs)
+            if costs.deopt_strategy != "guard":
+                oracle_deopt = self.deopt
         # A policy may supply its own per-compilation oracle (e.g. the
         # static-oracle baseline) via a ``make_oracle`` hook; the stock
         # policies have none and get the profile-directed InlineOracle.
@@ -168,7 +187,8 @@ class AdaptiveRuntime:
                                      provenance=self.provenance,
                                      oracle_factory=getattr(
                                          policy, "make_oracle", None),
-                                     speculation=self.speculation)
+                                     speculation=self.speculation,
+                                     deopt=oracle_deopt)
         self.missing_edge_organizer = MissingEdgeOrganizer(
             self.state, self.code_cache, self.database, costs)
         self.compilation_thread = CompilationThread(
@@ -180,6 +200,10 @@ class AdaptiveRuntime:
                                costs, self.accounting, self._tick)
         self.machine.osr_handler = self._osr_request
         self.machine.class_load_handler = self._on_class_load
+        if self.deopt is not None:
+            # Loop OSR transfers now charge the liveness-derived map-in
+            # cost; keyed by statement identity (shared objects).
+            self.machine.osr_liveness = self.deopt.loop_live_index()
         self.machine.telemetry = self.telemetry
         self.code_cache.telemetry = self.telemetry
         self.code_cache.provenance = self.provenance
@@ -403,6 +427,8 @@ class AdaptiveRuntime:
             osr_transfers=machine.stats.osr_transfers,
             invalidations=self.database.invalidation_count,
             elided_entries=machine.stats.elided_entries,
+            deopt_entries=machine.stats.deopt_entries,
+            deopt_exits=machine.stats.deopt_exits,
             progress_points=(self.progress.summary()
                              if self.progress is not None else None),
             first_rule_clock=self.first_rule_clock,

@@ -66,7 +66,11 @@ Commands
     (receiver preexistence, dominator availability, invalidation-cone
     risk), an elision-replay run asserting no elided guard would ever
     have failed, and the guard-cycle delta against a speculation-off
-    baseline.
+    baseline.  ``--deopt`` adds the deoptimization-planning section:
+    the per-method OSR-point table with liveness-derived live-set
+    sizes, the OSR live-state soundness replay (every post-transfer
+    read must be covered by the mapped live set), the planner's chosen
+    per-site strategies, and the planned-vs-guard cycle delta.
 """
 
 from __future__ import annotations
@@ -330,6 +334,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "availability, invalidation-cone risk), the "
                               "elision-replay soundness check, and guard "
                               "cycles vs a speculation-off baseline")
+    analyze.add_argument("--deopt", action="store_true",
+                         help="embed the deoptimization-planning section: "
+                              "per-method OSR-point table (liveness-derived "
+                              "live sets), the OSR live-state soundness "
+                              "replay, chosen per-site strategies, and the "
+                              "planned-vs-guard cycle delta")
     analyze.add_argument("-o", "--out", default=None,
                          help="also write the versioned JSON report here")
     return parser
@@ -638,6 +648,7 @@ def _cmd_analyze(args) -> int:
                                  soundness=args.soundness, phase=args.phase,
                                  lattice=args.lattice, k=args.k,
                                  speculation=args.speculation,
+                                 deopt=args.deopt,
                                  **({"precisions": precisions}
                                     if precisions else {}))
                for name in benchmarks]

@@ -25,6 +25,14 @@ GUARDED = "guarded"    # class/method-test guards with virtual fallback
 ELIDE_PREEXIST = "preexist"    # receiver preexists; invalidation protects
 ELIDE_DOMINATED = "dominated"  # a dominating guard's result is reused
 ELIDE_EXHAUSTIVE = "exhaustive"  # earlier guards missing implies this hits
+ELIDE_OSR_EXIT = "osr-exit"    # cheap-exit OSR point; miss deoptimizes
+
+#: Per-site deoptimization strategies (``InlineDecision.deopt``); mirror
+#: the :mod:`repro.analysis.deopt` lattice without importing it (the
+#: compiler layer never depends on the analysis layer).
+DEOPT_FULL_GUARD = "full-guard"
+DEOPT_CHEAP_EXIT = "cheap-exit-osr"
+DEOPT_GUARD_FREE = "guard-free"
 
 
 class InlineNode:
@@ -78,7 +86,12 @@ class GuardOption:
     every class that can reach the site, and
     :data:`ELIDE_DOMINATED` options reuse a dominating guard's result --
     ``elided_on`` names that guard as a ``(selector, target)`` pair the
-    interpreter re-evaluates at zero guard-test cost.
+    interpreter re-evaluates at zero guard-test cost, and
+    :data:`ELIDE_OSR_EXIT` options carry no test because the site was
+    compiled as a cheap-exit OSR point: the option enters only when the
+    resolved target matches, and a broken speculation deoptimizes (maps
+    the live state out and finishes at the baseline tier) instead of
+    falling back in optimized code.
     """
 
     __slots__ = ("target", "node", "guard_class", "elided", "elided_on")
@@ -96,7 +109,8 @@ class GuardOption:
     def elide(self, kind: str,
               on: Optional[Tuple[str, MethodDef]] = None) -> None:
         """Mark this option's guard as elided (``kind`` names why)."""
-        if kind not in (ELIDE_PREEXIST, ELIDE_DOMINATED, ELIDE_EXHAUSTIVE):
+        if kind not in (ELIDE_PREEXIST, ELIDE_DOMINATED, ELIDE_EXHAUSTIVE,
+                        ELIDE_OSR_EXIT):
             raise ValueError(f"bad elision kind {kind!r}")
         self.elided = kind
         self.elided_on = on
@@ -108,17 +122,29 @@ class GuardOption:
 
 
 class InlineDecision:
-    """The outcome for one call site: which targets were expanded inline."""
+    """The outcome for one call site: which targets were expanded inline.
 
-    __slots__ = ("kind", "options")
+    ``deopt`` names the per-site deoptimization strategy the planner
+    chose (one of the ``DEOPT_*`` constants) or ``None`` when planning
+    was off for this compilation; ``exit_live`` is the statically
+    computed live-local set a cheap-exit deoptimization at this site
+    must map out (always empty unless ``deopt`` is
+    :data:`DEOPT_CHEAP_EXIT`).
+    """
 
-    def __init__(self, kind: str, options: Sequence[GuardOption]):
+    __slots__ = ("kind", "options", "deopt", "exit_live")
+
+    def __init__(self, kind: str, options: Sequence[GuardOption],
+                 deopt: Optional[str] = None,
+                 exit_live: Sequence[int] = ()):
         if kind not in (DIRECT, GUARDED):
             raise ValueError(f"bad decision kind {kind!r}")
         if kind == DIRECT and len(options) != 1:
             raise ValueError("direct decisions have exactly one option")
         self.kind = kind
         self.options = tuple(options)
+        self.deopt = deopt
+        self.exit_live = frozenset(exit_live)
 
     @property
     def sole(self) -> GuardOption:

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from repro.compiler.compiled_method import (CompiledMethod, DIRECT,
-                                            ELIDE_DOMINATED,
-                                            ELIDE_EXHAUSTIVE, ELIDE_PREEXIST,
+from repro.compiler.compiled_method import (CompiledMethod, DEOPT_CHEAP_EXIT,
+                                            DIRECT, ELIDE_DOMINATED,
+                                            ELIDE_EXHAUSTIVE, ELIDE_OSR_EXIT,
+                                            ELIDE_PREEXIST,
                                             GUARDED, GuardOption,
                                             InlineDecision, InlineNode)
 from repro.compiler.guards import classes_for_target
@@ -101,9 +102,16 @@ class OptCompiler:
             sites[1] += 1
 
             const_args = count_constant_args(stmt.args)
-            elided = (ELIDE_PREEXIST
-                      if decision.guarded and decision.guard_elided
-                      else None)
+            if decision.guarded and decision.deopt == DEOPT_CHEAP_EXIT:
+                # Cheap-exit OSR point: no guard test is ever compiled --
+                # every option enters on a resolved-target match, and an
+                # all-options miss deoptimizes through the site's pruned
+                # live-state map instead of dispatching in opt code.
+                elided = ELIDE_OSR_EXIT
+            elif decision.guarded and decision.guard_elided:
+                elided = ELIDE_PREEXIST
+            else:
+                elided = None
             options = []
             for index, target in enumerate(decision.targets):
                 child = InlineNode(target, depth=node.depth + 1)
@@ -120,7 +128,9 @@ class OptCompiler:
                              sites)
 
             kind = GUARDED if decision.guarded else DIRECT
-            node.decisions[stmt.site] = InlineDecision(kind, options)
+            node.decisions[stmt.site] = InlineDecision(
+                kind, options, deopt=decision.deopt,
+                exit_live=decision.exit_live)
 
     # -- dominance-based redundant-guard elimination ----------------------------
 

@@ -35,6 +35,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.compiler.compiled_method import (DEOPT_CHEAP_EXIT,
+                                            DEOPT_FULL_GUARD,
+                                            DEOPT_GUARD_FREE)
 from repro.compiler.size_estimator import (SizeClass, classify,
                                            count_constant_args,
                                            estimate_inlined_bytecodes)
@@ -106,7 +109,7 @@ class Decision:
 
     __slots__ = ("inline", "guarded", "targets", "reason", "size_class",
                  "estimate", "coverage", "weight", "guard_kind",
-                 "guard_elided", "guard_elided_last")
+                 "guard_elided", "guard_elided_last", "deopt", "exit_live")
 
     def __init__(self, inline: bool, guarded: bool = False,
                  targets: Sequence[MethodDef] = (), reason: str = "", *,
@@ -115,7 +118,9 @@ class Decision:
                  weight: Optional[float] = None,
                  guard_kind: Optional[str] = None,
                  guard_elided: bool = False,
-                 guard_elided_last: bool = False):
+                 guard_elided_last: bool = False,
+                 deopt: Optional[str] = None,
+                 exit_live: Sequence[int] = ()):
         self.inline = inline
         self.guarded = guarded
         self.targets = tuple(targets)
@@ -135,6 +140,12 @@ class Decision:
         #: reach the site, so once every earlier guard missed the final
         #: test cannot fail and is compiled out.
         self.guard_elided_last = guard_elided_last
+        #: Deopt planner verdict for this site (a strategy string from
+        #: :mod:`repro.compiler.compiled_method`) or ``None`` when no
+        #: planner was consulted; ``exit_live`` carries the live-local
+        #: set a cheap-exit deoptimization at the site must map out.
+        self.deopt = deopt
+        self.exit_live = frozenset(exit_live)
 
     @property
     def verdict(self) -> str:
@@ -184,7 +195,8 @@ class InlineOracle:
                  on_cha_dependency: Optional[DependencySink] = None,
                  telemetry=NULL_RECORDER,
                  provenance=NULL_PROVENANCE,
-                 speculation=None):
+                 speculation=None,
+                 deopt=None):
         self._program = program
         self._hierarchy = hierarchy
         self._costs = costs
@@ -197,6 +209,11 @@ class InlineOracle:
         #: default, and the only configuration subclass oracles use --
         #: reproduces pre-speculation behaviour exactly.
         self._speculation = speculation
+        #: Optional :class:`repro.analysis.deopt.DeoptPlanner` (duck-typed:
+        #: anything with ``plan_site``).  When attached, guarded virtual
+        #: sites are routed through the planner instead of the speculation
+        #: branch; ``None`` reproduces stock behaviour exactly.
+        self._deopt = deopt
         #: Optional read-only view of the dynamic call graph, used for the
         #: guard-coverage (receiver-skew) test.  ``None`` disables the test
         #: (useful for unit tests of the pure rule logic).
@@ -391,6 +408,15 @@ class InlineOracle:
                                             loaded_sole.id)
                 decision.guard_kind = GUARD_PREEXISTENCE
                 return decision
+            if self._deopt is not None:
+                caller_id, site = comp_context[0]
+                cov = self._coverage(caller_id, site, comp_context,
+                                     {loaded_sole.id})
+                return self._plan_guarded(
+                    stmt, comp_context, [loaded_sole], root,
+                    GUARD_METHOD_TEST, cov,
+                    size_class=decision.size_class,
+                    estimate=decision.estimate, weight=decision.weight)
             if self._speculation is not None:
                 verdict = self._speculation.speculate(stmt, comp_context,
                                                       loaded_sole)
@@ -470,6 +496,11 @@ class InlineOracle:
             ReasonCode.PROFILE, caller_id, site, comp_context,
             {t.id for t, _w in survivors})
         targets = [t for t, _w in survivors]
+        if self._deopt is not None:
+            return self._plan_guarded(
+                stmt, comp_context, targets, root, GUARD_CLASS_TEST,
+                coverage, estimate=total_estimate,
+                weight=sum(w for _t, w in survivors))
         elided_last = False
         if self._speculation is not None and len(targets) >= 2:
             verdict = self._speculation.speculate_exhaustive(
@@ -495,6 +526,44 @@ class InlineOracle:
             estimate=total_estimate,
             weight=sum(w for _t, w in survivors),
             guard_kind=GUARD_CLASS_TEST, guard_elided_last=elided_last)
+
+    # -- deoptimization planning ------------------------------------------------
+
+    def _plan_guarded(self, stmt, comp_context: Context,
+                      targets: Sequence[MethodDef], root: MethodDef,
+                      guard_kind: str, coverage: Optional[float],
+                      **evidence) -> Decision:
+        """Route a guarded verdict through the attached deopt planner.
+
+        The planner picks the per-site strategy; the oracle translates it
+        back into a decision the compiler can execute.  ``guard-free``
+        reuses the speculation pass's elision contract (record the CHA
+        dependency, emit no guard); ``cheap-exit-osr`` compiles the site
+        as a deoptimization point carrying its pruned live-state map;
+        ``full-guard`` keeps the stock guard chain but surfaces that the
+        planner considered and rejected the exit.
+        """
+        plan = self._deopt.plan_site(
+            stmt, comp_context, targets,
+            coverage=1.0 if coverage is None else coverage,
+            interface=isinstance(stmt, InterfaceCall))
+        if plan.strategy == DEOPT_GUARD_FREE:
+            if self._on_cha_dependency is not None:
+                self._on_cha_dependency(root.id, stmt.selector,
+                                        targets[0].id)
+            return Decision.guarded_inline(
+                targets, reason=ReasonCode.GUARD_ELIDED_PREEXIST,
+                coverage=coverage, guard_kind=GUARD_PREEXISTENCE,
+                guard_elided=True, deopt=DEOPT_GUARD_FREE, **evidence)
+        if plan.strategy == DEOPT_CHEAP_EXIT:
+            return Decision.guarded_inline(
+                targets, reason=ReasonCode.DEOPT_PLANNED_OSR,
+                coverage=coverage, guard_kind=guard_kind,
+                deopt=DEOPT_CHEAP_EXIT, exit_live=plan.live, **evidence)
+        return Decision.guarded_inline(
+            targets, reason=ReasonCode.DEOPT_PLANNED_GUARD,
+            coverage=coverage, guard_kind=guard_kind,
+            deopt=DEOPT_FULL_GUARD, exit_live=plan.live, **evidence)
 
     # -- guard coverage (receiver skew) ----------------------------------------
 

@@ -173,6 +173,44 @@ SPECULATION_REFUSE_MIN_RISK = float("inf")
 
 
 # ---------------------------------------------------------------------------
+# OSR liveness and deoptimization planning
+# ---------------------------------------------------------------------------
+
+#: Whether the compiler runs the liveness/deopt planning pass (backward
+#: live-variable analysis, per-OSR-point state-mapping costs, per-site
+#: deopt strategy selection).  Off by default under the same contract as
+#: ``SPECULATION_ENABLED``: stock runs stay byte-identical to the golden
+#: decision logs.
+DEOPT_PLANNING_ENABLED = False
+
+#: Cycles charged per live local mapped *into* optimized state at an OSR
+#: entry (loop back-edge transfer).  D'Elia & Demetrescu observe the OSR
+#: transition cost is dominated by this live-state mapping.
+OSR_MAP_IN_COST = 3
+
+#: Cycles charged per live local mapped *out* of optimized state at a
+#: deoptimization exit (an ``osr-exit`` site whose speculation failed).
+OSR_MAP_OUT_COST = 2
+
+#: Per-site deoptimization strategy, a sweepable policy dimension:
+#:
+#: * ``"guard"``    -- every speculative inline keeps its compiled guard
+#:   chain with an in-code dispatch fallback (the stock behaviour).
+#: * ``"osr-exit"`` -- every eligible guarded site is compiled as a
+#:   cheap-exit OSR point instead: the fast path pays no guard cycles,
+#:   and a failed speculation pays a live-state-mapped exit plus a
+#:   baseline-tier dispatch.
+#: * ``"planned"``  -- the :class:`~repro.analysis.deopt.DeoptPlanner`
+#:   chooses per site from {full-guard, cheap-exit-osr, guard-free}
+#:   using liveness-derived exit cost, speculation risk, and the k-CFA
+#:   precision lattice.
+DEOPT_STRATEGY = "guard"
+
+#: The closed strategy vocabulary for :data:`DEOPT_STRATEGY`.
+DEOPT_STRATEGIES = ("guard", "osr-exit", "planned")
+
+
+# ---------------------------------------------------------------------------
 # Adaptive-inlining policy constants
 # ---------------------------------------------------------------------------
 
@@ -293,6 +331,11 @@ class CostModel:
     speculation_enabled: bool = SPECULATION_ENABLED
     speculation_elide_max_risk: float = SPECULATION_ELIDE_MAX_RISK
     speculation_refuse_min_risk: float = SPECULATION_REFUSE_MIN_RISK
+
+    deopt_planning_enabled: bool = DEOPT_PLANNING_ENABLED
+    osr_map_in_cost: int = OSR_MAP_IN_COST
+    osr_map_out_cost: int = OSR_MAP_OUT_COST
+    deopt_strategy: str = DEOPT_STRATEGY
 
     @property
     def estimated_opt_speedup(self) -> float:

@@ -31,14 +31,19 @@ class Frame:
     inlined:
         True when this activation has no physical frame of its own -- its
         code was inlined into an enclosing optimized method.
+    osr:
+        True once this activation has crossed a tier boundary through
+        on-stack replacement (its live state was mapped between frame
+        layouts); the deopt planner's accounting keys on this.
     """
 
-    __slots__ = ("method", "site", "inlined")
+    __slots__ = ("method", "site", "inlined", "osr")
 
     def __init__(self, method: MethodDef, site: Optional[int], inlined: bool):
         self.method = method
         self.site = site
         self.inlined = inlined
+        self.osr = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = " (inlined)" if self.inlined else ""

@@ -26,7 +26,9 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.aos.cost_accounting import APP, COMPILATION, CostAccounting
 from repro.compiler.code_cache import CodeCache
-from repro.compiler.compiled_method import (ELIDE_EXHAUSTIVE, ELIDE_PREEXIST,
+from repro.compiler.compiled_method import (DEOPT_CHEAP_EXIT,
+                                            ELIDE_EXHAUSTIVE, ELIDE_OSR_EXIT,
+                                            ELIDE_PREEXIST,
                                             GUARDED, InlineNode)
 from repro.jvm.costs import CostModel
 from repro.jvm.errors import ExecutionError
@@ -52,7 +54,8 @@ class MachineStats:
 
     __slots__ = ("calls", "virtual_calls", "inline_entries", "guard_tests",
                  "guard_misses", "dispatches", "work_cycles",
-                 "osr_transfers", "elided_entries")
+                 "osr_transfers", "elided_entries", "deopt_entries",
+                 "deopt_exits")
 
     def __init__(self) -> None:
         self.calls = 0            # out-of-line invocations
@@ -64,6 +67,8 @@ class MachineStats:
         self.work_cycles = 0      # raw (unscaled) work units executed
         self.osr_transfers = 0    # loops transferred onto optimized code
         self.elided_entries = 0   # inline entries through an elided guard
+        self.deopt_entries = 0    # zero-cost entries at cheap-exit OSR sites
+        self.deopt_exits = 0      # deoptimization exits (mapped live state)
 
 
 class Machine:
@@ -130,6 +135,23 @@ class Machine:
         #: elided guard would ever have failed.
         self.elision_observer: Optional[
             Callable[[int, str, str, str], None]] = None
+        #: ``id(loop_stmt) -> live-local set`` from the deopt planner's
+        #: liveness pass.  ``None`` (the default) charges no OSR
+        #: state-mapping cycles, reproducing pre-planning cycle counts
+        #: exactly; when set, each loop OSR transfer additionally pays
+        #: ``len(live) * costs.osr_map_in_cost``.
+        self.osr_liveness = None
+        #: Pure-instrumentation hooks for the OSR soundness replay, all
+        #: under the ``dispatch_observer`` contract (no cycles charged,
+        #: no state mutated).  ``osr_entry_observer(method_id, loop_stmt,
+        #: locals_)`` fires at each loop OSR transfer;
+        #: ``deopt_exit_observer(site, exit_live, locals_)`` fires at each
+        #: cheap-exit deoptimization; ``local_probe(locals_, index,
+        #: is_read)`` fires on every local-slot access so the checker can
+        #: compare actual reads against the statically computed live sets.
+        self.osr_entry_observer: Optional[Callable] = None
+        self.deopt_exit_observer: Optional[Callable] = None
+        self.local_probe: Optional[Callable] = None
 
     # -- cost charging -----------------------------------------------------
 
@@ -236,6 +258,7 @@ class Machine:
                    mult: float, node: Optional[InlineNode]):
         """Execute statements; return the Return value or ``None`` if none."""
         costs = self.costs
+        probe = self.local_probe
         for stmt in body:
             k = stmt.kind
             if k == S_WORK:
@@ -255,6 +278,8 @@ class Machine:
                         self.program.method(stmt.target), call_args, stmt.site)
                 if stmt.dst is not None:
                     locals_[stmt.dst] = result
+                    if probe is not None:
+                        probe(locals_, stmt.dst, False)
             elif k == S_VIRTUAL_CALL or k == S_INTERFACE_CALL:
                 self.stats.virtual_calls += 1
                 receiver = self._eval(stmt.receiver, args, locals_)
@@ -267,8 +292,12 @@ class Machine:
                                             interface=(k == S_INTERFACE_CALL))
                 if stmt.dst is not None:
                     locals_[stmt.dst] = result
+                    if probe is not None:
+                        probe(locals_, stmt.dst, False)
             elif k == S_LET:
                 locals_[stmt.dst] = self._eval(stmt.expr, args, locals_)
+                if probe is not None:
+                    probe(locals_, stmt.dst, False)
             elif k == S_LOOP:
                 count = self._eval(stmt.count, args, locals_)
                 idx = stmt.index_local
@@ -285,6 +314,8 @@ class Machine:
                     edges = self.backedge_counts.get(method_id, 0)
                     for i in range(count):
                         locals_[idx] = i
+                        if probe is not None:
+                            probe(locals_, idx, False)
                         result = self._exec_body(loop_body, args, locals_,
                                                  mult, node)
                         if result is not None:
@@ -309,6 +340,19 @@ class Machine:
                                     node = compiled.root
                                     mult = self._opt_mult
                                     self.stats.osr_transfers += 1
+                                    self.stack[-1].osr = True
+                                    if self.osr_liveness is not None:
+                                        # Map the live frame state into
+                                        # the optimized layout: the OSR
+                                        # transition's dominant cost.
+                                        live = self.osr_liveness.get(
+                                            id(stmt), ())
+                                        self._charge_app(
+                                            len(live)
+                                            * costs.osr_map_in_cost)
+                                    if self.osr_entry_observer is not None:
+                                        self.osr_entry_observer(
+                                            method_id, stmt, locals_)
                                     self.telemetry.instant(
                                         APP, "osr_transfer",
                                         method=method_id)
@@ -316,6 +360,8 @@ class Machine:
                 else:
                     for i in range(count):
                         locals_[idx] = i
+                        if probe is not None:
+                            probe(locals_, idx, False)
                         result = self._exec_body(loop_body, args, locals_,
                                                  mult, node)
                         if result is not None:
@@ -334,12 +380,16 @@ class Machine:
                         and self.class_load_handler is not None:
                     self.class_load_handler(stmt.class_name)
                 locals_[stmt.dst] = Instance(stmt.class_name)
+                if probe is not None:
+                    probe(locals_, stmt.dst, False)
             elif k == S_NEWPOOL:
                 for class_name in stmt.class_names:
                     if self.hierarchy.mark_loaded(class_name) \
                             and self.class_load_handler is not None:
                         self.class_load_handler(class_name)
                 locals_[stmt.dst] = tuple(Instance(c) for c in stmt.class_names)
+                if probe is not None:
+                    probe(locals_, stmt.dst, False)
             elif k == S_RETURN:
                 if stmt.expr is None:
                     return 0
@@ -370,6 +420,17 @@ class Machine:
                         self.stats.guard_tests += 1
                         self._charge_app(costs.guard_test * mult)
                         if option.target is resolved:
+                            return self._enter_inlined(
+                                resolved, call_args, stmt.site, option.node)
+                    elif elided == ELIDE_OSR_EXIT:
+                        # Cheap-exit OSR point: the compiled code carries
+                        # no test at all -- entry happens through the
+                        # dispatch the machine already resolved, so a
+                        # matching target is entered at zero guard cost
+                        # and a mismatch falls through toward the
+                        # deoptimization exit below.
+                        if option.target is resolved:
+                            self.stats.deopt_entries += 1
                             return self._enter_inlined(
                                 resolved, call_args, stmt.site, option.node)
                     elif elided in (ELIDE_PREEXIST, ELIDE_EXHAUSTIVE):
@@ -408,6 +469,20 @@ class Machine:
                                 option.node)
                         # Dominating guard missed: treat as a miss here
                         # too and continue to the next option / fallback.
+                if decision.deopt == DEOPT_CHEAP_EXIT:
+                    # Broken speculation at a cheap-exit OSR point: map
+                    # the site's pruned live state out of the optimized
+                    # frame and finish the dispatch at the baseline tier
+                    # (the deoptimization exit is expensive exactly so
+                    # the fast path could carry no guard).
+                    self.stats.deopt_exits += 1
+                    self._charge_app(
+                        len(decision.exit_live) * costs.osr_map_out_cost
+                        + dispatch_cost * self._baseline_mult)
+                    if self.deopt_exit_observer is not None:
+                        self.deopt_exit_observer(stmt.site,
+                                                 decision.exit_live, locals_)
+                    return self._invoke(resolved, call_args, stmt.site)
                 # Every guard failed: fall back to full dispatch.
                 self.stats.guard_misses += 1
                 self.stats.dispatches += 1
@@ -435,6 +510,8 @@ class Machine:
         if k == E_ARG:
             return args[expr.index]
         if k == E_LOCAL:
+            if self.local_probe is not None:
+                self.local_probe(locals_, expr.index, True)
             return locals_[expr.index]
         if k == E_ADD:
             return self._eval(expr.left, args, locals_) + \

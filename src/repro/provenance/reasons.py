@@ -64,6 +64,15 @@ class ReasonCode(enum.Enum):
     #: alone protects the inline and the guard test is never emitted.
     #: The verdict stays ``guarded`` -- only the guard's cost changes.
     GUARD_ELIDED_PREEXIST = "guard-elided-preexist"
+    #: Deopt planner only: the guarded site was compiled as a cheap-exit
+    #: OSR point -- no guard cycles on the fast path, a live-state-mapped
+    #: deoptimization exit on a broken speculation (``deopt_strategy``
+    #: ``osr-exit``/``planned`` under ``deopt_planning_enabled``).
+    DEOPT_PLANNED_OSR = "deopt-planned-osr"
+    #: Deopt planner only: the planner evaluated the site under the
+    #: ``planned`` strategy and *kept* the full guard chain (exit too
+    #: expensive relative to its liveness-derived state-mapping cost).
+    DEOPT_PLANNED_GUARD = "deopt-planned-guard"
 
     # -- refusals -------------------------------------------------------------
     #: Callee is the compilation root or already on the inline chain.
@@ -108,7 +117,9 @@ INLINE_REASONS: FrozenSet[str] = frozenset((
     ReasonCode.TINY.value, ReasonCode.SMALL.value, ReasonCode.SMALL_HOT.value,
     ReasonCode.MEDIUM_HOT.value, ReasonCode.PROFILE.value,
     ReasonCode.STATIC_HOT.value, ReasonCode.STATIC_CTX_MONO.value,
-    ReasonCode.FLEET_WARM.value, ReasonCode.GUARD_ELIDED_PREEXIST.value))
+    ReasonCode.FLEET_WARM.value, ReasonCode.GUARD_ELIDED_PREEXIST.value,
+    ReasonCode.DEOPT_PLANNED_OSR.value,
+    ReasonCode.DEOPT_PLANNED_GUARD.value))
 
 #: Reason codes that accompany a *refused* verdict.
 REFUSAL_REASONS: FrozenSet[str] = REASON_CODES - INLINE_REASONS

@@ -1,0 +1,192 @@
+"""Unit tests for backward live-variable analysis over the statement tree.
+
+Exercises the :class:`~repro.analysis.dataflow.BackwardAnalysis` engine
+through its liveness client, with a focus on the edge cases that make
+backward structured dataflow subtle: nested-loop fixpoint termination,
+empty bodies, loop-carried liveness that exists only across the back
+edge, and join determinism when branch order is shuffled.
+"""
+
+from repro.analysis.liveness import (LivenessAnalysis, collect_uses,
+                                     method_liveness)
+from repro.jvm.program import (Arg, Const, If, Let, Local, Loop, MethodDef,
+                               New, Pick, Return, VirtualCall, Work)
+
+
+def _method(body, params=1, locals_=8):
+    """A bare static method; liveness is purely syntactic, so no program
+    (or even class) context is needed."""
+    return MethodDef("T", "m", params, True, body, num_locals=locals_)
+
+
+class TestCollectUses:
+    def test_local_and_const(self):
+        assert collect_uses(Local(3), set()) == {3}
+        assert collect_uses(Const(7), set()) == set()
+
+    def test_arg_is_not_a_local_use(self):
+        # Args live in the shared immutable argument tuple: both tiers
+        # see the same storage and OSR never maps it.
+        assert collect_uses(Arg(0), set()) == set()
+
+    def test_pick_reads_pool_and_index(self):
+        assert collect_uses(Pick(Local(1), Local(2)), set()) == {1, 2}
+
+
+class TestEmptyBody:
+    def test_empty_body_yields_empty_facts(self):
+        info = method_liveness(_method([]))
+        assert info.entry_live == frozenset()
+        assert info.loops == ()
+        assert info.site_live == {}
+        assert info.loop_live_by_id == {}
+
+    def test_use_free_body_yields_empty_entry(self):
+        info = method_liveness(_method([Work(5), Return(Const(0))]))
+        assert info.entry_live == frozenset()
+
+    def test_loop_with_empty_body_terminates(self):
+        info = method_liveness(_method([
+            Loop(Const(3), 0, []), Return(Local(1))]))
+        (loop,) = info.loops
+        assert loop.live == frozenset({1})  # the after-loop read only
+
+
+class TestReturnResetsState:
+    def test_unreachable_tail_does_not_leak_uses(self):
+        # Reversed processing sees Return(Local(2)) first, but the
+        # earlier Return must *reset* the state to its own operand's
+        # uses: nothing after a return in the same body ever runs.
+        info = method_liveness(_method([
+            Return(Local(1)), Return(Local(2))]))
+        assert info.entry_live == frozenset({1})
+
+
+class TestLoopCarriedLiveness:
+    def test_live_only_across_back_edge(self):
+        # Local 1 is read early in the iteration and written late, and
+        # nothing after the loop reads it: it is live *only* across the
+        # back edge, which a single backward pass without the loop
+        # fixpoint would miss.
+        info = method_liveness(_method([
+            Loop(Const(3), 0, [
+                Let(2, Local(1)),
+                Let(1, Const(5)),
+            ]),
+            Return(Const(0)),
+        ]))
+        (loop,) = info.loops
+        assert 1 in loop.live
+        assert 2 not in loop.live  # written before any read
+        assert info.entry_live == frozenset({1})  # first trip reads entry value
+
+    def test_loop_index_is_never_loop_carried(self):
+        # The induction variable is assigned at the head of every
+        # iteration, so even though the body reads it, it is dead at
+        # the back edge and must not appear in the OSR map-in set.
+        info = method_liveness(_method([
+            Loop(Const(3), 0, [Let(1, Local(0))]),
+            Return(Local(1)),
+        ]))
+        (loop,) = info.loops
+        assert loop.index_local == 0
+        assert 0 not in loop.live
+        assert loop.live == frozenset({1})
+
+    def test_zero_trip_keeps_after_loop_state_live(self):
+        # The loop may run zero times, so locals read only after the
+        # loop stay live at the header.
+        info = method_liveness(_method([
+            Loop(Const(3), 0, [Let(1, Const(2))]),
+            Return(Local(3)),
+        ]))
+        (loop,) = info.loops
+        assert 3 in loop.live
+
+
+class TestNestedLoopFixpoint:
+    def test_nested_fixpoint_terminates_and_converges(self):
+        # A three-link chain threaded across both loops: 2 -> 3 in the
+        # inner loop, 4 -> 2 in the outer, 4 read after.  The fixpoint
+        # must make all three live at both headers (each is read on
+        # some future path before being overwritten).
+        info = method_liveness(_method([
+            Loop(Const(3), 0, [
+                Loop(Const(3), 1, [
+                    Let(4, Local(3)),
+                    Let(3, Local(2)),
+                ]),
+                Let(2, Local(4)),
+            ]),
+            Return(Local(4)),
+        ]))
+        outer, inner = info.loops
+        assert outer.path == "body[0].loop"
+        assert inner.path == "body[0].loop.body[0].loop"
+        assert outer.live == frozenset({2, 3, 4})
+        assert inner.live == frozenset({2, 3, 4})
+        # Neither induction variable is ever loop-carried.
+        assert 0 not in outer.live and 1 not in inner.live
+
+    def test_fixpoint_is_stable_under_reanalysis(self):
+        method = _method([
+            Loop(Const(3), 0, [
+                Loop(Const(3), 1, [Let(3, Local(2)), Let(2, Local(3))]),
+            ]),
+            Return(Local(2)),
+        ])
+        first = method_liveness(method)
+        second = method_liveness(method)
+        assert [loop.live for loop in first.loops] == \
+            [loop.live for loop in second.loops]
+        assert first.entry_live == second.entry_live
+
+
+class TestJoinDeterminism:
+    def _branchy(self, swap: bool):
+        then_body = [VirtualCall(0, "ping", Local(1), dst=0)]
+        else_body = [VirtualCall(1, "ping", Local(2), dst=0)]
+        if swap:
+            then_body, else_body = else_body, then_body
+        return _method([
+            If(Arg(0), then_body, else_body),
+            Return(Local(0)),
+        ])
+
+    def test_branch_order_does_not_change_facts(self):
+        # The join is set union, so shuffling successor order (here:
+        # swapping the two branch bodies) must not change any recorded
+        # fact -- per-site or at entry.
+        straight = method_liveness(self._branchy(swap=False))
+        shuffled = method_liveness(self._branchy(swap=True))
+        assert straight.entry_live == shuffled.entry_live == frozenset({1, 2})
+        assert straight.site_live == shuffled.site_live
+        assert straight.site_live[0] == frozenset({1})
+        assert straight.site_live[1] == frozenset({2})
+
+
+class TestSiteLive:
+    def test_call_dst_is_killed_and_receiver_counted(self):
+        info = method_liveness(_method([
+            Let(0, Arg(0)),
+            Let(1, Const(7)),
+            Let(2, Const(9)),
+            VirtualCall(0, "ping", Local(0), dst=2),
+            Return(Local(1)),
+        ], params=1, locals_=4))
+        # Live before the call: the receiver (0), the value read after
+        # the call (1); the call's own dst (2) is dead at that point.
+        assert info.site_live[0] == frozenset({0, 1})
+
+    def test_entry_live_flags_default_value_reads(self):
+        info = method_liveness(_method([Return(Local(5))]))
+        assert info.entry_live == frozenset({5})
+
+    def test_fresh_analysis_instances_share_nothing(self):
+        method = _method([Loop(Const(2), 0, [Let(1, Local(1))]),
+                          Return(Local(1))])
+        one = LivenessAnalysis()
+        one.analyze(method)
+        two = LivenessAnalysis()
+        two.analyze(method)
+        assert one.loop_live.keys() == two.loop_live.keys()
